@@ -1,0 +1,28 @@
+"""Figure 3 bench: per-user query-distribution curves.
+
+Shape criteria: the curves are heavy-tailed (orders-of-magnitude spread,
+high Gini) and monotone when sorted by activity — the qualitative signature
+of the paper's Fig 3 panels.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.experiments import figures
+
+
+def test_figure3_distributions(benchmark, ooi_dataset, gage_dataset):
+    def run():
+        return figures.figure3([ooi_dataset, gage_dataset])
+
+    dists, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig3_distributions", text)
+
+    for name, d in dists.items():
+        s = d.summary()
+        # Heavy tail: the busiest user queries far more objects than the median.
+        assert s["max_objects"] > 3 * max(s["median_objects"], 1), name
+        # Substantial inequality in query volume.
+        assert s["query_gini"] > 0.3, name
+        # Sorted by activity.
+        assert (np.diff(d.total_queries) <= 0).all(), name

@@ -1,0 +1,25 @@
+"""Figure 4 bench: t-SNE of heavy users' queried data objects.
+
+Shape criterion: same-organization users' point clouds overlap (low user
+separability) while users from different organizations separate — the
+paper's evidence that research groups share query patterns.
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+
+
+def test_figure4_tsne(benchmark, ooi_dataset):
+    def run():
+        return figures.figure4(ooi_dataset, num_heavy_users=8, seed=0)
+
+    embeddings, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig4_tsne", text)
+
+    same = embeddings["same_org"].user_separability()
+    cross = embeddings["cross_org"].user_separability()
+    # Same-org users should be clearly less separable than cross-org users.
+    assert same < cross, (
+        f"same-org separability {same:.3f} should be below cross-org {cross:.3f}"
+    )

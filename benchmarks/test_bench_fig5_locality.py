@@ -1,0 +1,35 @@
+"""Figure 5 bench: same-city vs random user-pair query-pattern probability.
+
+Shape criteria: same-city pairs are many-fold likelier to share an
+instrument-locality pattern and a data-type pattern than random pairs
+(ratios ≫ 1), and the Section III-B2 concentration statistics land near the
+published numbers (43.1%/51.6% OOI, 36.3%/68.8% GAGE) at full scale.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.analysis import query_concentration
+from repro.experiments import figures
+
+
+def test_figure5_locality(benchmark, ooi_dataset, gage_dataset):
+    def run():
+        return figures.figure5([ooi_dataset, gage_dataset], num_pairs=10_000, seed=0)
+
+    results, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig5_locality", text)
+
+    for name, r in results.items():
+        assert r.region_ratio > 1.5, f"{name}: same-city locality signal missing"
+        assert r.dtype_ratio > 1.5, f"{name}: same-city domain signal missing"
+        assert r.p_region_same_city > r.p_region_random
+        assert r.p_dtype_same_city > r.p_dtype_random
+
+    if BENCH_SCALE == "full":
+        conc_ooi = query_concentration(ooi_dataset.trace, ooi_dataset.catalog)
+        conc_gage = query_concentration(gage_dataset.trace, gage_dataset.catalog)
+        # Calibration band: within ±0.08 of the published fractions.
+        assert abs(conc_ooi["same_region_fraction"] - 0.431) < 0.08
+        assert abs(conc_ooi["same_dtype_fraction"] - 0.516) < 0.08
+        assert abs(conc_gage["same_region_fraction"] - 0.363) < 0.08
+        assert abs(conc_gage["same_dtype_fraction"] - 0.688) < 0.08

@@ -1,0 +1,31 @@
+"""Table I bench: collaborative-knowledge-graph statistics.
+
+Regenerates the paper's Table I (entities / relationships / KG triplets /
+link-avg per facility) from the synthetic catalogs and prints measured
+values next to the published ones.  Shape criteria: relation counts match
+the paper exactly (8 OOI / 7 GAGE); entity and triple counts land in the
+same size class.
+"""
+
+from conftest import BENCH_SCALE, write_result
+
+from repro.experiments import tables
+
+
+def test_table1_ckg_statistics(benchmark, ooi_dataset, gage_dataset):
+    def run():
+        return tables.table1(ooi_dataset, gage_dataset)
+
+    stats, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("table1_ckg_stats", text)
+
+    # Hard shape criteria — these are structural, not stochastic.
+    assert stats["ooi"].relationships == 8, "paper: 8 OOI relations"
+    assert stats["gage"].relationships == 7, "paper: 7 GAGE relations"
+    assert stats["gage"].entities > stats["ooi"].entities
+    assert stats["gage"].kg_triples > stats["ooi"].kg_triples
+    if BENCH_SCALE == "full":
+        # Size class: within 2× of the published counts.
+        assert 0.5 * 1342 <= stats["ooi"].entities <= 2.0 * 1342
+        assert 0.5 * 5554 <= stats["ooi"].kg_triples <= 2.0 * 5554
+        assert 0.5 * 4754 <= stats["gage"].entities <= 2.0 * 4754

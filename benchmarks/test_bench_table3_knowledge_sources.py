@@ -1,0 +1,43 @@
+"""Table III bench: CKAT under different knowledge-source combinations.
+
+Shape criteria from the paper: the full combination (UIG+UUG+LOC+DKG) is
+the best of the six, and appending the MD metadata (the deliberate noise
+source) does not improve on it.
+"""
+
+from conftest import write_result
+
+from repro.experiments import tables
+
+
+def test_table3_knowledge_sources(benchmark, ooi_dataset, gage_dataset, ablation_epochs):
+    def run():
+        return tables.table3(
+            datasets=[ooi_dataset, gage_dataset], epochs=ablation_epochs, seed=0
+        )
+
+    results, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("table3_knowledge_sources", text)
+
+    report = []
+    for ds in ("ooi", "gage"):
+        best = results[("UIG+UUG+LOC+DKG", ds)].recall
+        noisy = results[("UIG+UUG+LOC+DKG+MD", ds)].recall
+        singles = {
+            label: results[(label, ds)].recall
+            for label in ("UIG+LOC", "UIG+DKG", "UIG+UUG")
+        }
+        report.append(
+            f"[{ds}] full={best:.4f} +MD={noisy:.4f} "
+            f"({'MD hurts' if noisy <= best else 'MD helped (deviation from paper)'}); "
+            f"singles: {', '.join(f'{k}={v:.4f}' for k, v in singles.items())}"
+        )
+        # Hard gate: the full combination must not collapse below the single
+        # sources (single-seed CKAT runs carry ±0.02 recall noise at this
+        # budget, so exact ordering among the top combinations is reported,
+        # not asserted — see EXPERIMENTS.md).
+        assert best >= max(singles.values()) * 0.90, (
+            f"{ds}: full combination collapsed relative to the best single "
+            f"knowledge source — shape broken beyond noise"
+        )
+    write_result("table3_shape", "\n".join(report))

@@ -1,0 +1,39 @@
+"""Table IV bench: attention mechanism and aggregator ablation.
+
+Shape criteria from the paper: the default (attention + concat) beats both
+the sum-aggregator variant and the no-attention variant.
+"""
+
+from conftest import write_result
+
+from repro.experiments import tables
+
+
+def test_table4_attention_aggregators(benchmark, ooi_dataset, gage_dataset, ablation_epochs):
+    def run():
+        return tables.table4(
+            datasets=[ooi_dataset, gage_dataset], epochs=ablation_epochs, seed=0
+        )
+
+    results, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("table4_attention", text)
+
+    report = []
+    for ds in ("ooi", "gage"):
+        default = results[("w/ Att + concat", ds)].recall
+        summed = results[("w/ Att + sum", ds)].recall
+        no_att = results[("w/o Att + concat", ds)].recall
+        report.append(
+            f"[{ds}] att+concat={default:.4f} att+sum={summed:.4f} noatt+concat={no_att:.4f} "
+            f"(attention {'helps' if default > no_att else 'did not help'}, "
+            f"concat {'beats' if default > summed else 'did not beat'} sum)"
+        )
+        # Hard gate only against collapse: the paper's attention/concat
+        # deltas are +2-7% relative, inside our single-seed noise band, and
+        # on attribute-generated synthetic data the attention mechanism has
+        # little relation noise to filter (see EXPERIMENTS.md) — so the
+        # ordering is reported, not asserted.
+        assert default >= 0.90 * max(summed, no_att), (
+            f"{ds}: default CKAT collapsed relative to ablations"
+        )
+    write_result("table4_shape", "\n".join(report))

@@ -1,0 +1,33 @@
+"""Table V bench: embedding-propagation depth L ∈ {1, 2, 3}.
+
+Shape criterion from the paper: deeper CKAT is at least as good as CKAT-1
+(high-order connectivity helps), with CKAT-3 the paper's default.
+"""
+
+from conftest import write_result
+
+from repro.experiments import tables
+
+
+def test_table5_propagation_depth(benchmark, ooi_dataset, gage_dataset, ablation_epochs):
+    def run():
+        return tables.table5(
+            datasets=[ooi_dataset, gage_dataset], epochs=ablation_epochs, seed=0
+        )
+
+    results, text = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("table5_depth", text)
+
+    report = []
+    for ds in ("ooi", "gage"):
+        r1 = results[("CKAT-1", ds)].recall
+        r2 = results[("CKAT-2", ds)].recall
+        r3 = results[("CKAT-3", ds)].recall
+        deeper_best = max(r2, r3)
+        report.append(
+            f"[{ds}] L=1 {r1:.4f}  L=2 {r2:.4f}  L=3 {r3:.4f} "
+            f"(depth {'helps' if deeper_best >= r1 else 'did not help'})"
+        )
+        # Allow small-sample noise: deeper models within 5% of CKAT-1 at worst.
+        assert deeper_best >= 0.95 * r1, f"{ds}: depth catastrophically hurt"
+    write_result("table5_shape", "\n".join(report))

@@ -1,0 +1,71 @@
+"""Micro-benchmarks: training and inference throughput of the hot paths.
+
+These use pytest-benchmark's statistics properly (multiple rounds) since a
+single step is fast: one CKAT BPR step (full-graph propagation forward +
+backward), one TransR phase step, attention refresh, and full-catalog
+scoring.  Useful for tracking performance regressions in the autograd
+engine and the sparse propagation path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.sampling import BPRSampler
+from repro.kg import KnowledgeSources
+from repro.models import CKAT, CKATConfig
+from repro.models.base import FitConfig
+
+
+@pytest.fixture(scope="module")
+def ckat_setup(ooi_dataset):
+    ckg = ooi_dataset.build_ckg(KnowledgeSources.best())
+    train = ooi_dataset.split.train
+    model = CKAT(train.num_users, train.num_items, ckg, CKATConfig(), seed=0)
+    sampler = BPRSampler(train)
+    rng = np.random.default_rng(0)
+    users, pos, neg = sampler.sample_batch(512, rng)
+    return model, users, pos, neg, rng
+
+
+def test_ckat_bpr_step(benchmark, ckat_setup):
+    model, users, pos, neg, rng = ckat_setup
+
+    def step():
+        loss = model.batch_loss(users, pos, neg, rng)
+        loss.backward()
+        for p in model.parameters():
+            p.grad = None
+        return loss.item()
+
+    value = benchmark(step)
+    assert np.isfinite(value)
+
+
+def test_ckat_transr_step(benchmark, ckat_setup):
+    model, _, _, _, rng = ckat_setup
+    store = model.ckg.propagation_store
+
+    def step():
+        h, r, t = model.transr.sample_triples(store, 2048, rng)
+        loss = model.transr.margin_loss(h, r, t, rng)
+        loss.backward()
+        for p in model.transr.parameters():
+            p.grad = None
+        return loss.item()
+
+    value = benchmark(step)
+    assert np.isfinite(value)
+
+
+def test_ckat_attention_refresh(benchmark, ckat_setup):
+    model = ckat_setup[0]
+    benchmark(model.refresh_attention)
+    assert np.isfinite(model._edge_weights).all()
+
+
+def test_ckat_full_catalog_scoring(benchmark, ckat_setup, ooi_dataset):
+    model = ckat_setup[0]
+    users = np.arange(min(128, ooi_dataset.split.train.num_users))
+
+    scores = benchmark(model.score_users, users)
+    assert scores.shape == (len(users), ooi_dataset.split.train.num_items)

@@ -1,0 +1,70 @@
+"""Cold-start analysis: when does the knowledge graph matter most?
+
+Run:  python examples/cold_start_analysis.py [--full]
+
+The paper motivates knowledge graphs as auxiliary information that
+"alleviates the cold-start and data-sparsity challenges" (Section II-B).
+This example quantifies that on the OOI-like benchmark: users are sliced by
+training-history length, and CKAT (full CKG) is compared against BPRMF (no
+knowledge) per slice, with bootstrap significance on the overall gap.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import BPRMF, CKAT, CKATConfig, KnowledgeSources, load_dataset
+from repro.eval import paired_bootstrap_test, per_user_metrics
+from repro.experiments.coldstart import cold_start_report
+from repro.models.base import FitConfig
+
+
+def main() -> None:
+    scale = "full" if "--full" in sys.argv else "small"
+    dataset = load_dataset("ooi", scale=scale, seed=17)
+    print(dataset.describe(), "\n")
+    train, test = dataset.split.train, dataset.split.test
+    ckg = dataset.build_ckg(KnowledgeSources.best())
+
+    epochs = 40 if scale == "full" else 15
+    bprmf = BPRMF(train.num_users, train.num_items, dim=32, seed=0)
+    bprmf.fit(train, FitConfig(epochs=epochs, lr=0.01, seed=0))
+    cfg = (
+        CKATConfig()
+        if scale == "full"
+        else CKATConfig(dim=32, relation_dim=32, layer_dims=(32, 16))
+    )
+    ckat = CKAT(train.num_users, train.num_items, ckg, cfg, seed=0)
+    ckat.fit(train, FitConfig(epochs=epochs, lr=0.01 if scale == "small" else 0.005, seed=0))
+
+    # Per-bucket comparison.
+    results, table = cold_start_report(
+        {"BPRMF (no KG)": bprmf.score_users, "CKAT (full CKG)": ckat.score_users},
+        dataset.split,
+        k=20,
+    )
+    print(table)
+
+    # Significance of the overall per-user gap.
+    r_bprmf, _, _ = per_user_metrics(bprmf.score_users, train, test, k=20)
+    r_ckat, _, _ = per_user_metrics(ckat.score_users, train, test, k=20)
+    test_result = paired_bootstrap_test(r_ckat, r_bprmf, seed=0)
+    print(
+        f"\npaired bootstrap (CKAT − BPRMF recall@20): "
+        f"mean diff {test_result.mean_diff:+.4f}, p={test_result.p_value:.4f} "
+        f"({'significant' if test_result.significant else 'not significant'} at 0.05, "
+        f"n={test_result.n_users} users)"
+    )
+
+    # The cold-slice story.
+    cold_label = next(iter(results["CKAT (full CKG)"].buckets))
+    ck = results["CKAT (full CKG)"].buckets[cold_label].recall
+    bp = results["BPRMF (no KG)"].buckets[cold_label].recall
+    print(
+        f"\ncoldest slice ({cold_label}): CKAT {ck:.4f} vs BPRMF {bp:.4f} — "
+        "the knowledge graph substitutes for missing interaction history."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Cross-facility recommendations — the paper's future-work note, realized.
+
+Run:  python examples/cross_facility.py
+
+Section IV: "Using entity alignment, KGs from multiple facilities can be
+consolidated.  This can potentially enable recommendations across multiple
+facilities."  This example does exactly that:
+
+1. build an OOI-like and a GAGE-like facility;
+2. create ONE shared user population (interdisciplinary researchers) that
+   queries both facilities;
+3. consolidate both knowledge graphs + both query logs into a single CKG
+   via :func:`repro.kg.build_cross_facility_ckg`;
+4. train one CKAT over the combined graph;
+5. show that a user whose history is mostly oceanographic receives relevant
+   geodetic recommendations through the shared collaborative signal.
+"""
+
+import numpy as np
+
+from repro.data import InteractionDataset, per_user_split
+from repro.facility import (
+    build_gage_catalog,
+    build_ooi_catalog,
+    build_user_population,
+    generate_trace,
+)
+from repro.facility.affinity import GAGE_AFFINITY, OOI_AFFINITY
+from repro.facility.gage import GAGEConfig
+from repro.facility.ooi import OOIConfig
+from repro.eval import RankingEvaluator
+from repro.kg import KnowledgeSources, build_cross_facility_ckg
+from repro.models import CKAT, CKATConfig
+from repro.models.base import FitConfig
+
+
+def main() -> None:
+    ooi = build_ooi_catalog(OOIConfig(num_sites=30), seed=1)
+    gage = build_gage_catalog(GAGEConfig(num_stations=150, num_cities=60), seed=1)
+    print(ooi.describe())
+    print(gage.describe())
+
+    # One shared population of 80 users; each facility gets its own trace
+    # from the same people (focus indices are drawn per facility).
+    pop_ooi = build_user_population(ooi, num_users=80, num_orgs=16, seed=2)
+    pop_gage = build_user_population(gage, num_users=80, num_orgs=16, seed=2)
+    trace_ooi = generate_trace(ooi, pop_ooi, OOI_AFFINITY, seed=3, queries_per_user_mean=40.0)
+    trace_gage = generate_trace(gage, pop_gage, GAGE_AFFINITY, seed=4, queries_per_user_mean=40.0)
+    print(f"traces: {len(trace_ooi)} OOI records, {len(trace_gage)} GAGE records")
+
+    # Combined interactions: item ids of facility 1 are offset past facility 0.
+    u0, i0 = trace_ooi.unique_pairs()
+    u1, i1 = trace_gage.unique_pairs()
+    ckg, index = build_cross_facility_ckg(
+        [ooi, gage],
+        pop_ooi,  # the shared population (city structure drives the UUG)
+        [(u0, i0), (u1, i1)],
+        sources=KnowledgeSources.best(),
+        seed=5,
+    )
+    print(ckg.describe())
+
+    users, items = ckg.interaction_pairs()
+    data = InteractionDataset(users, items, ckg.num_users, ckg.num_items)
+    split = per_user_split(data, seed=6)
+
+    # NOTE: the CKG above contains all interactions; rebuild it on the train
+    # split only so evaluation is leak-free.
+    train_f0 = index.facility_of_item(split.train.item_ids) == 0
+    pairs = []
+    for f in (0, 1):
+        mask = index.facility_of_item(split.train.item_ids) == f
+        local = split.train.item_ids[mask] - index.item_offsets[f]
+        pairs.append((split.train.user_ids[mask], local))
+    ckg, index = build_cross_facility_ckg(
+        [ooi, gage], pop_ooi, pairs, sources=KnowledgeSources.best(), seed=5
+    )
+
+    model = CKAT(
+        ckg.num_users,
+        ckg.num_items,
+        ckg,
+        CKATConfig(dim=32, relation_dim=32, layer_dims=(32, 16)),
+        seed=0,
+    )
+    model.fit(split.train, FitConfig(epochs=20, batch_size=256, lr=0.01, seed=0, verbose=False))
+    evaluator = RankingEvaluator(split.train, split.test, k=20)
+    print(f"cross-facility held-out performance: {evaluator.evaluate(model.score_users)}")
+
+    # How often do recommendations cross facilities?  For every user, count
+    # top-10 recommendations from the facility they use *less*.
+    f_of_train = index.facility_of_item(split.train.item_ids)
+    cross_counts = []
+    for u in range(ckg.num_users):
+        seen = split.train.items_of_user(u)
+        if len(seen) < 3:
+            continue
+        seen_fac = index.facility_of_item(seen)
+        minority = 0 if (seen_fac == 0).sum() < (seen_fac == 1).sum() else 1
+        recs = model.recommend(u, k=10, exclude=seen)
+        cross_counts.append(int((index.facility_of_item(recs) == minority).sum()))
+    cross_counts = np.array(cross_counts)
+    print(
+        f"\ncross-facility recommendations (top-10, minority facility): "
+        f"mean {cross_counts.mean():.1f}/10, "
+        f"{(cross_counts > 0).mean() * 100:.0f}% of users receive at least one"
+    )
+
+    # Show one user in detail: the most facility-balanced history.
+    balance = []
+    for u in range(ckg.num_users):
+        seen_fac = index.facility_of_item(split.train.items_of_user(u))
+        balance.append(min((seen_fac == 0).sum(), (seen_fac == 1).sum()))
+    user = int(np.argmax(balance))
+    seen = split.train.items_of_user(user)
+    recs = model.recommend(user, k=10, exclude=seen)
+    seen_fac = index.facility_of_item(seen)
+    print(
+        f"\nuser {user}: {int((seen_fac == 0).sum())} OOI / "
+        f"{int((seen_fac == 1).sum())} GAGE items in history; top-10:"
+    )
+    for rank, item in enumerate(recs, start=1):
+        fac = int(index.facility_of_item(np.array([item]))[0])
+        catalog = [ooi, gage][fac]
+        local = int(item - index.item_offsets[fac])
+        obj = catalog.objects[local]
+        dtype = catalog.data_types[obj.dtype_id]
+        print(f"{rank:2d}. [{catalog.name:9s}] {dtype.name}")
+    print(
+        "\nThe consolidated CKG carries collaborative signal across facilities:"
+        "\nusers' minority-facility interests surface in their recommendations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""GAGE knowledge-source study: which knowledge helps, which is noise.
+
+Run:  python examples/gage_knowledge_sources.py [--full]
+
+The Table-III question on the GAGE-like facility: train CKAT under different
+knowledge-source combinations (UIG only, +LOC, +DKG, +UUG, all, all+MD) and
+print the recall@20 / ndcg@20 ladder.  The expected shape — location
+knowledge matters most for GAGE, metadata (MD) hurts — is the paper's
+central Table-III finding.
+"""
+
+import sys
+
+from repro import CKATConfig, KnowledgeSources, load_dataset
+from repro.experiments.runner import run_single_model
+from repro.utils.tables import TextTable
+
+COMBOS = [
+    ("UIG only", KnowledgeSources(uug=False, loc=False, dkg=False, md=False)),
+    ("UIG+LOC", KnowledgeSources(uug=False, loc=True, dkg=False, md=False)),
+    ("UIG+DKG", KnowledgeSources(uug=False, loc=False, dkg=True, md=False)),
+    ("UIG+UUG", KnowledgeSources(uug=True, loc=False, dkg=False, md=False)),
+    ("UIG+UUG+LOC+DKG", KnowledgeSources.best()),
+    ("UIG+UUG+LOC+DKG+MD", KnowledgeSources.all_sources()),
+]
+
+
+def main() -> None:
+    scale = "full" if "--full" in sys.argv else "small"
+    dataset = load_dataset("gage", scale=scale, seed=13)
+    print(dataset.describe(), "\n")
+
+    config = (
+        CKATConfig()
+        if scale == "full"
+        else CKATConfig(dim=16, relation_dim=16, layer_dims=(16, 8), kg_steps_per_epoch=3)
+    )
+    epochs = 60 if scale == "full" else 12
+
+    table = TextTable(["knowledge sources", "recall@20", "ndcg@20", "KG triples"])
+    for label, sources in COMBOS:
+        ckg = dataset.build_ckg(sources)
+        result = run_single_model(
+            "CKAT",
+            dataset,
+            ckg=ckg,
+            epochs=epochs,
+            seed=0,
+            ckat_config=config,
+            best_epoch_selection=(scale == "full"),
+        )
+        table.add_row([label, result.recall, result.ndcg, len(ckg.store)])
+        print(f"done: {label:22s} recall@20={result.recall:.4f}")
+    print("\n" + table.render())
+    print(
+        "\nExpected shape (paper Table III): every knowledge source beats UIG"
+        " alone, LOC matters most for GAGE, the full combination wins, and"
+        " adding MD metadata degrades the best combination."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""OOI data-discovery walkthrough: the full Section III → VI pipeline.
+
+Run:  python examples/ooi_data_discovery.py [--full]
+
+Reproduces the paper's story end to end on the OOI-like facility:
+
+1. generate the facility and a year of synthetic query traffic;
+2. measure the Section-III affinities (query concentration, same-city
+   likelihood ratios, per-user distribution shape);
+3. build the collaborative knowledge graph;
+4. train CKAT and a BPRMF control;
+5. compare recall@20 / ndcg@20 and inspect what knowledge the attention
+   mechanism weights most.
+
+``--full`` uses the full-scale dataset (minutes instead of seconds).
+"""
+
+import sys
+
+import numpy as np
+
+from repro import BPRMF, CKAT, CKATConfig, KnowledgeSources, RankingEvaluator, load_dataset
+from repro.analysis import compute_distributions, pair_similarity_study, query_concentration
+from repro.kg.subgraphs import INTERACT
+from repro.models.base import FitConfig
+
+
+def main() -> None:
+    scale = "full" if "--full" in sys.argv else "small"
+    dataset = load_dataset("ooi", scale=scale, seed=11)
+    catalog, trace, population = dataset.catalog, dataset.trace, dataset.population
+    print(dataset.describe(), "\n")
+
+    # ---- Section III: what does query behaviour look like? ----------------
+    dist = compute_distributions(trace, catalog)
+    summary = dist.summary()
+    print("per-user query distributions (Fig 3 shape):")
+    print(f"  median distinct objects {summary['median_objects']:.0f}, "
+          f"max {summary['max_objects']}; query Gini {summary['query_gini']:.3f}")
+
+    conc = query_concentration(trace, catalog)
+    print("query concentration (Section III-B2):")
+    print(f"  same-region fraction {conc['same_region_fraction']:.3f} (paper: 0.431)")
+    print(f"  same-data-type fraction {conc['same_dtype_fraction']:.3f} (paper: 0.516)")
+
+    pairs = pair_similarity_study(trace, catalog, population, num_pairs=2000, seed=0)
+    print("same-city vs random user pairs (Fig 5):")
+    print(f"  same-site ratio {pairs.region_ratio:.1f}x, same-dtype ratio {pairs.dtype_ratio:.1f}x\n")
+
+    # ---- Sections IV-V: graph + model --------------------------------------
+    ckg = dataset.build_ckg(KnowledgeSources.best())
+    print(ckg.describe())
+    train, test = dataset.split.train, dataset.split.test
+    evaluator = RankingEvaluator(train, test, k=20)
+
+    control = BPRMF(train.num_users, train.num_items, dim=32, seed=0)
+    control.fit(train, FitConfig(epochs=20, batch_size=256, lr=0.01, seed=0))
+    control_metrics = evaluator.evaluate(control.score_users)
+
+    ckat = CKAT(
+        train.num_users,
+        train.num_items,
+        ckg,
+        CKATConfig(dim=32, relation_dim=32, layer_dims=(32, 16)),
+        seed=0,
+    )
+    ckat.fit(train, FitConfig(epochs=25, batch_size=256, lr=0.01, seed=0))
+    ckat_metrics = evaluator.evaluate(ckat.score_users)
+
+    print("\nmodel comparison on held-out queries:")
+    print(f"  BPRMF (no knowledge graph): {control_metrics}")
+    print(f"  CKAT  (full CKG):           {ckat_metrics}")
+
+    # ---- What does the attention focus on? ---------------------------------
+    adj = ckat.adj
+    weights = ckat._edge_weights
+    print("\nmean attention weight by relation (higher = more informative):")
+    rel_means = []
+    for rid in range(adj.num_relations):
+        mask = adj.rels == rid
+        if mask.any():
+            rel_means.append((adj.rels[mask][0], float(weights[mask].mean()), int(mask.sum())))
+    names = ckg.propagation_store.relations
+    for rid, mean_w, count in sorted(rel_means, key=lambda x: -x[1])[:8]:
+        print(f"  {names.name_of(int(rid)):24s} mean={mean_w:.4f} over {count} edges")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: train CKAT on the OOI-like benchmark and get recommendations.
+
+Run:  python examples/quickstart.py
+
+Builds the small OOI-like synthetic facility, constructs the collaborative
+knowledge graph from training queries + facility metadata, trains the CKAT
+model for a few epochs, evaluates recall@20 / ndcg@20 on held-out queries,
+and prints a readable top-10 recommendation list for one user.
+"""
+
+import numpy as np
+
+from repro import CKAT, CKATConfig, KnowledgeSources, RankingEvaluator, load_dataset
+from repro.models.base import FitConfig
+
+
+def main() -> None:
+    # 1. Data: synthetic OOI-like facility + query trace + 80/20 split.
+    dataset = load_dataset("ooi", scale="small", seed=7)
+    print(dataset.describe())
+
+    # 2. Knowledge graph: UIG + UUG + LOC + DKG (the paper's best combo).
+    ckg = dataset.build_ckg(KnowledgeSources.best())
+    print(ckg.describe())
+
+    # 3. Model: CKAT with small dimensions for a fast demo.
+    train = dataset.split.train
+    model = CKAT(
+        train.num_users,
+        train.num_items,
+        ckg,
+        CKATConfig(dim=32, relation_dim=32, layer_dims=(32, 16)),
+        seed=0,
+    )
+    result = model.fit(train, FitConfig(epochs=20, batch_size=256, lr=0.01, seed=0, verbose=True))
+    print(f"trained in {result.seconds:.1f}s, final BPR loss {result.final_loss:.4f}")
+
+    # 4. Evaluate on held-out queries.
+    evaluator = RankingEvaluator(train, dataset.split.test, k=20)
+    metrics = evaluator.evaluate(model.score_users)
+    print(f"held-out performance: {metrics}")
+
+    # 5. Recommend for the most active user, with attribute context.
+    user = int(np.argmax(train.user_degree()))
+    seen = train.items_of_user(user)
+    recs = model.recommend(user, k=10, exclude=seen)
+    catalog = dataset.catalog
+    print(f"\ntop-10 recommendations for user {user} "
+          f"(has queried {len(seen)} objects before):")
+    for rank, item in enumerate(recs, start=1):
+        obj = catalog.objects[int(item)]
+        instrument = catalog.instruments[obj.instrument_id]
+        site = catalog.sites[instrument.site_id]
+        region = catalog.regions[site.region_id]
+        dtype = catalog.data_types[obj.dtype_id]
+        print(
+            f"{rank:2d}. {dtype.name:28s} from {instrument.name:20s} "
+            f"({region.name}, {obj.delivery_method})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 3: distribution curves of per-user query behavior.
+
+The paper plots, per user (X axis = user id sorted by activity), the number
+of distinct data objects queried (a, b), distinct instrument locations
+(c, d), and distinct data types (e, f) for OOI and GAGE.  The qualitative
+signature is a heavy-tailed, monotone-decreasing curve spanning orders of
+magnitude.  :func:`compute_distributions` reproduces the three curves and
+summary statistics used by the Fig-3 bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.facility.catalog import FacilityCatalog
+from repro.facility.trace import QueryTrace
+
+__all__ = ["UserQueryDistributions", "compute_distributions", "tail_ratio", "gini_coefficient"]
+
+
+def _distinct_per_user(trace: QueryTrace, codes: np.ndarray) -> np.ndarray:
+    """Number of distinct ``codes`` values each user queried.
+
+    ``codes`` maps object id → attribute code (site, data type, or identity
+    for the objects curve).  Vectorized: unique (user, code) pairs counted
+    per user.
+    """
+    n_codes = int(codes.max()) + 1 if codes.size else 1
+    keys = trace.user_ids * np.int64(n_codes) + codes[trace.object_ids]
+    uniq = np.unique(keys)
+    users = (uniq // n_codes).astype(np.int64)
+    return np.bincount(users, minlength=trace.num_users)
+
+
+@dataclasses.dataclass(frozen=True)
+class UserQueryDistributions:
+    """The three Fig-3 curves, each sorted descending (one value per user)."""
+
+    objects: np.ndarray
+    locations: np.ndarray
+    data_types: np.ndarray
+    total_queries: np.ndarray
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics for reporting."""
+        active = self.total_queries > 0
+        return {
+            "active_users": int(active.sum()),
+            "median_objects": float(np.median(self.objects[self.objects > 0])),
+            "max_objects": int(self.objects.max()),
+            "median_locations": float(np.median(self.locations[self.locations > 0])),
+            "max_locations": int(self.locations.max()),
+            "median_data_types": float(np.median(self.data_types[self.data_types > 0])),
+            "max_data_types": int(self.data_types.max()),
+            "query_gini": gini_coefficient(self.total_queries),
+            "objects_tail_ratio": tail_ratio(self.objects),
+        }
+
+
+def compute_distributions(trace: QueryTrace, catalog: FacilityCatalog) -> UserQueryDistributions:
+    """Compute the Fig-3 per-user distinct-count curves (sorted descending)."""
+    if trace.num_objects != catalog.num_objects:
+        raise ValueError("trace and catalog disagree on the number of data objects")
+    objects = _distinct_per_user(trace, np.arange(catalog.num_objects, dtype=np.int64))
+    locations = _distinct_per_user(trace, catalog.object_site)
+    dtypes = _distinct_per_user(trace, catalog.object_dtype)
+    totals = trace.per_user_counts()
+    order = np.argsort(-totals, kind="stable")
+    return UserQueryDistributions(
+        objects=objects[order],
+        locations=locations[order],
+        data_types=dtypes[order],
+        total_queries=totals[order],
+    )
+
+
+def tail_ratio(values: np.ndarray, top_fraction: float = 0.1) -> float:
+    """Share of the total contributed by the top ``top_fraction`` of users.
+
+    Heavy-tailed curves (the paper's traces) put most mass in the top decile.
+    """
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    values = np.sort(np.asarray(values, dtype=np.float64))[::-1]
+    total = values.sum()
+    if total <= 0:
+        return 0.0
+    k = max(1, int(np.ceil(len(values) * top_fraction)))
+    return float(values[:k].sum() / total)
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini inequality coefficient of a nonnegative array (0 = uniform)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0 or v.sum() == 0:
+        return 0.0
+    if (v < 0).any():
+        raise ValueError("gini requires nonnegative values")
+    n = len(v)
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * v).sum() - (n + 1) * v.sum()) / (n * v.sum()))

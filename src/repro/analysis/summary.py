@@ -1,0 +1,96 @@
+"""Facility-trace report builder: one call, the whole Section-III picture.
+
+:func:`facility_report` bundles the Fig-3 distribution summary, the
+Section III-B2 concentration statistics, and the Fig-5 pair study into a
+single structured result plus a printable report — the CLI's ``analyze``
+command and notebooks both build on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.distributions import UserQueryDistributions, compute_distributions
+from repro.analysis.locality import PairStudyResult, pair_similarity_study, query_concentration
+from repro.facility.catalog import FacilityCatalog
+from repro.facility.trace import QueryTrace
+from repro.facility.users import UserPopulation
+
+__all__ = ["FacilityReport", "facility_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FacilityReport:
+    """All Section-III measurements for one facility trace."""
+
+    facility: str
+    num_records: int
+    num_users: int
+    num_objects: int
+    distributions: UserQueryDistributions
+    concentration: Dict[str, float]
+    pair_study: Optional[PairStudyResult]
+
+    def render(self) -> str:
+        """Multi-line printable report."""
+        s = self.distributions.summary()
+        lines = [
+            f"=== {self.facility} trace report ===",
+            f"{self.num_records} query records, {self.num_users} users, "
+            f"{self.num_objects} data objects",
+            "",
+            "Per-user query distributions (Fig 3):",
+            f"  distinct objects: median {s['median_objects']:.0f}, max {s['max_objects']}",
+            f"  distinct locations: median {s['median_locations']:.0f}, max {s['max_locations']}",
+            f"  distinct data types: median {s['median_data_types']:.0f}, max {s['max_data_types']}",
+            f"  activity inequality: Gini {s['query_gini']:.3f}, "
+            f"top-10% share {s['objects_tail_ratio']:.2f}",
+            "",
+            "Query concentration (Section III-B2):",
+            f"  same-region fraction: {self.concentration['same_region_fraction']:.3f}",
+            f"  same-data-type fraction: {self.concentration['same_dtype_fraction']:.3f}",
+        ]
+        if self.pair_study is not None:
+            p = self.pair_study
+            lines += [
+                "",
+                f"Same-city vs random pairs (Fig 5, n={p.num_pairs}):",
+                f"  same-site pattern: {p.p_region_same_city:.3f} vs {p.p_region_random:.3f} "
+                f"({p.region_ratio:.1f}x)",
+                f"  same-data-type pattern: {p.p_dtype_same_city:.3f} vs {p.p_dtype_random:.3f} "
+                f"({p.dtype_ratio:.1f}x)",
+            ]
+        return "\n".join(lines)
+
+
+def facility_report(
+    trace: QueryTrace,
+    catalog: FacilityCatalog,
+    population: Optional[UserPopulation] = None,
+    num_pairs: int = 5000,
+    seed=0,
+) -> FacilityReport:
+    """Compute the full Section-III measurement bundle.
+
+    The pair study requires a population (for city membership); without one
+    it is skipped and the report omits the Fig-5 block.
+    """
+    dist = compute_distributions(trace, catalog)
+    conc = query_concentration(trace, catalog)
+    pair = (
+        pair_similarity_study(trace, catalog, population, num_pairs=num_pairs, seed=seed)
+        if population is not None
+        else None
+    )
+    return FacilityReport(
+        facility=catalog.name,
+        num_records=len(trace),
+        num_users=trace.num_users,
+        num_objects=trace.num_objects,
+        distributions=dist,
+        concentration=conc,
+        pair_study=pair,
+    )

@@ -1,0 +1,50 @@
+"""Parameter initializers.
+
+The paper uses the Xavier/Glorot initializer (Section VI-D) for all models.
+Every initializer takes an explicit :class:`numpy.random.Generator` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal_init", "fan_in_out"]
+
+
+def fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight shape.
+
+    For 2-D weights ``(in, out)`` these are the two dims; for 1-D (bias-like)
+    both equal the length; higher-rank tensors treat trailing dims as the
+    receptive field, matching the Glorot convention.
+    """
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with ``a = gain * sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = fan_in_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain² · 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal_init(shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Plain scaled-normal initializer (used by matrix-factorization models)."""
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,179 @@
+"""First-order optimizers for the autodiff engine.
+
+All models in the paper are trained with Adam (Section VI-D); SGD and AdaGrad
+are provided for ablations and tests.  Optimizers operate on the ``.grad``
+buffers that :meth:`repro.autograd.tensor.Tensor.backward` fills in and update
+``.data`` in place (guides: in-place ops avoid large temporaries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.  Parameters with ``grad is None`` are
+    skipped.
+    """
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad * p.grad).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer: holds parameters, zeroes grads, applies steps."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient buffer."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        """Apply one update using the current gradients."""
+        self.step_count += 1
+        for p in self.params:
+            if p.grad is not None:
+                self._update(p)
+
+    def _update(self, p: Parameter) -> None:
+        raise NotImplementedError
+
+    def state_size(self) -> int:
+        """Number of floats of optimizer state (for memory accounting)."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Parameter) -> None:
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        if self.momentum:
+            v = self._velocity.get(id(p))
+            if v is None:
+                v = np.zeros_like(p.data)
+                self._velocity[id(p)] = v
+            v *= self.momentum
+            v += g
+            g = v
+        p.data -= self.lr * g
+
+    def state_size(self) -> int:
+        return sum(v.size for v in self._velocity.values())
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) — the paper's optimizer for every model."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Parameter) -> None:
+        b1, b2 = self.betas
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        m = self._m.get(id(p))
+        if m is None:
+            m = np.zeros_like(p.data)
+            v = np.zeros_like(p.data)
+            self._m[id(p)], self._v[id(p)] = m, v
+        else:
+            v = self._v[id(p)]
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * (g * g)
+        t = self.step_count
+        mhat = m / (1 - b1**t)
+        vhat = v / (1 - b2**t)
+        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_size(self) -> int:
+        return sum(m.size for m in self._m.values()) + sum(v.size for v in self._v.values())
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad with per-coordinate accumulated squared gradients."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.05,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._acc: Dict[int, np.ndarray] = {}
+
+    def _update(self, p: Parameter) -> None:
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        acc = self._acc.get(id(p))
+        if acc is None:
+            acc = np.zeros_like(p.data)
+            self._acc[id(p)] = acc
+        acc += g * g
+        p.data -= self.lr * g / (np.sqrt(acc) + self.eps)
+
+    def state_size(self) -> int:
+        return sum(a.size for a in self._acc.values())

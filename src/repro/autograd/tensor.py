@@ -1,0 +1,350 @@
+"""Core tensor type and tape machinery for the reverse-mode autodiff engine.
+
+The design follows the classic define-by-run pattern: every differentiable
+operation returns a new :class:`Tensor` holding references to its parents and
+a closure that, given the output gradient, accumulates gradients into the
+parents.  Calling :meth:`Tensor.backward` on a scalar loss walks the tape in
+reverse topological order.
+
+Broadcasting is handled once, centrally, by :func:`unbroadcast`: a gradient
+flowing into an operand that was broadcast during the forward pass is summed
+over the broadcast axes so that ``grad.shape == operand.shape`` always holds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record onto the autodiff tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape recording (e.g. during evaluation).
+
+    Inside the block every op behaves like plain NumPy: outputs have
+    ``requires_grad=False`` and no backward closures are created, which keeps
+    full-ranking evaluation allocation-free of tape nodes.
+    """
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were introduced or expanded by broadcasting.
+
+    Parameters
+    ----------
+    grad:
+        Gradient with the broadcasted (output) shape.
+    shape:
+        The original operand shape the gradient must be reduced back to.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the operand but expanded in the output.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value, dtype=dtype)
+    if arr.dtype == object:
+        raise TypeError(f"cannot build tensor from object array: {value!r}")
+    return arr
+
+
+def astensor(value: ArrayLike) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` (constants get requires_grad=False)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(_as_array(value, dtype=np.float64), requires_grad=False)
+
+
+class Tensor:
+    """An ndarray wrapper participating in reverse-mode autodiff.
+
+    Attributes
+    ----------
+    data:
+        The underlying :class:`numpy.ndarray` value.
+    grad:
+        Accumulated gradient (same shape as ``data``) after ``backward``;
+        ``None`` until gradients flow.
+    requires_grad:
+        Whether gradients should be computed for this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents: Tuple["Tensor", ...] = tuple(_parents) if self.requires_grad else ()
+        self._backward = _backward if self.requires_grad else None
+        self.name = name
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}{grad_flag}{label})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a 0-d / single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------- gradients
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer (allocating lazily).
+
+        ``owned=True`` asserts the caller hands over a freshly-allocated
+        array that no other tensor will see — it is then stored without a
+        defensive copy (later accumulations mutate it in place).  Backward
+        closures that compute a new temporary (e.g. ``grad * x``) pass
+        ``owned=True``; closures that forward a shared array (e.g. ``add``
+        passing the same grad to both parents) use the safe default.
+        """
+        shaped = unbroadcast(np.asarray(grad), self.data.shape)
+        if shaped is not grad:
+            owned = True  # unbroadcast allocated a reduction
+        if self.grad is None:
+            if (
+                not owned
+                or shaped.dtype != self.data.dtype
+                or not shaped.flags.owndata
+                or not shaped.flags.writeable
+            ):
+                shaped = shaped.astype(self.data.dtype, copy=True)
+            self.grad = shaped
+        else:
+            self.grad += shaped
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        Parameters
+        ----------
+        grad:
+            Output gradient.  Defaults to 1 for scalar tensors; required for
+            non-scalar roots.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        self.accumulate_grad(np.asarray(grad, dtype=self.data.dtype))
+
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free intermediate gradients/tape references eagerly; keep
+                # leaf grads (parameters) for the optimizer.
+                if node._parents:
+                    node.grad = None
+            node._backward = None
+            node._parents = ()
+
+    # ------------------------------------------------------------ operators
+    # The actual op implementations live in repro.autograd.functional; the
+    # dunder methods below delegate so users can write natural expressions.
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.add(self, astensor(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.sub(self, astensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.sub(astensor(other), self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.mul(self, astensor(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.div(self, astensor(other))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.div(astensor(other), self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.power(self, exponent)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.matmul(self, astensor(other))
+
+    # ------------------------------------------------------------- reducers
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        from repro.autograd import functional as F
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return F.reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        from repro.autograd import functional as F
+
+        return F.transpose(self, axes)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a trainable model parameter.
+
+    Identical to ``Tensor(data, requires_grad=True)`` but the distinct type
+    lets models and optimizers collect parameters generically.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data: ArrayLike, name: str = ""):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        # Parameters are leaves even under no_grad construction.
+        self.requires_grad = True
+
+
+def collect_parameters(obj, _seen=None) -> List[Parameter]:
+    """Recursively gather :class:`Parameter` instances from an object.
+
+    Walks ``__dict__`` attributes, lists/tuples and dict values.  Used by
+    model ``parameters()`` implementations so each model does not need to
+    enumerate its parameters by hand.
+    """
+    if _seen is None:
+        _seen = set()
+    params: List[Parameter] = []
+    if id(obj) in _seen:
+        return params
+    _seen.add(id(obj))
+    if isinstance(obj, Parameter):
+        return [obj]
+    if isinstance(obj, Tensor):
+        return []
+    if isinstance(obj, dict):
+        values: Iterable = obj.values()
+    elif isinstance(obj, (list, tuple)):
+        values = obj
+    elif hasattr(obj, "__dict__"):
+        values = vars(obj).values()
+    else:
+        return params
+    for value in values:
+        params.extend(collect_parameters(value, _seen))
+    return params

@@ -1,0 +1,99 @@
+"""BPR negative sampling and minibatching.
+
+Section VI-A: "For each observed user–item interaction, we consider it as a
+positive instance and then conduct the negative sampling strategy to pair it
+with one negative item that the user did not consume before."
+
+:class:`BPRSampler` draws (user, positive, negative) triples in vectorized
+batches; negatives are rejection-sampled against the user's positive set,
+which at facility-data densities (≲5%) converges in one or two rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.utils.rng import ensure_rng
+
+__all__ = ["BPRSampler"]
+
+
+class BPRSampler:
+    """Vectorized (user, pos, neg) triple sampler over a training set.
+
+    Parameters
+    ----------
+    data:
+        Training interactions.
+    max_rejection_rounds:
+        Safety bound on rejection resampling; users whose positive set
+        covers the whole catalog (degenerate) keep a random item after the
+        bound is hit.
+    """
+
+    def __init__(self, data: InteractionDataset, max_rejection_rounds: int = 50):
+        if len(data) == 0:
+            raise ValueError("cannot sample from an empty interaction dataset")
+        self.data = data
+        self.max_rejection_rounds = max_rejection_rounds
+        # Membership test structure: key = user * num_items + item, sorted.
+        self._keys = np.sort(data.user_ids * np.int64(data.num_items) + data.item_ids)
+
+    def is_positive(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized membership test for (user, item) pairs."""
+        keys = np.asarray(users, dtype=np.int64) * np.int64(self.data.num_items) + np.asarray(
+            items, dtype=np.int64
+        )
+        idx = np.searchsorted(self._keys, keys)
+        idx = np.clip(idx, 0, len(self._keys) - 1)
+        return self._keys[idx] == keys
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw one batch of (users, positive items, negative items).
+
+        Positives are drawn uniformly over interactions (so heavy users are
+        proportionally represented, as in standard BPR); negatives are
+        uniform over the catalog with rejection against the user's
+        positives.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        pick = rng.integers(0, len(self.data), size=batch_size)
+        users = self.data.user_ids[pick]
+        pos = self.data.item_ids[pick]
+        neg = rng.integers(0, self.data.num_items, size=batch_size)
+        bad = self.is_positive(users, neg)
+        rounds = 0
+        while bad.any() and rounds < self.max_rejection_rounds:
+            neg[bad] = rng.integers(0, self.data.num_items, size=int(bad.sum()))
+            bad = self.is_positive(users, neg)
+            rounds += 1
+        return users, pos, neg
+
+    def epoch_batches(
+        self, batch_size: int, seed=0
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``ceil(len(data)/batch_size)`` batches covering one epoch.
+
+        Interactions are visited in a fresh random permutation; negatives
+        are sampled per batch.
+        """
+        rng = ensure_rng(seed)
+        order = rng.permutation(len(self.data))
+        for start in range(0, len(order), batch_size):
+            pick = order[start : start + batch_size]
+            users = self.data.user_ids[pick]
+            pos = self.data.item_ids[pick]
+            neg = rng.integers(0, self.data.num_items, size=len(pick))
+            bad = self.is_positive(users, neg)
+            rounds = 0
+            while bad.any() and rounds < self.max_rejection_rounds:
+                neg[bad] = rng.integers(0, self.data.num_items, size=int(bad.sum()))
+                bad = self.is_positive(users, neg)
+                rounds += 1
+            yield users, pos, neg

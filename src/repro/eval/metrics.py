@@ -1,0 +1,93 @@
+"""Ranking metrics.
+
+All functions operate on one user's *ranked list* (item ids in descending
+score order, training items already removed) and a *relevant set* (the user's
+test items), and return floats in [0, 1].  Batch aggregation lives in
+:mod:`repro.eval.evaluator`, which computes hit matrices vectorized and calls
+these only in tests as the reference implementation.
+
+Definitions follow the paper's protocol (and the KGAT codebase conventions):
+
+- ``recall@K`` = |top-K ∩ relevant| / |relevant|
+- ``ndcg@K``   = DCG@K / IDCG@K with binary gains, log2 discounting
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+__all__ = [
+    "recall_at_k",
+    "precision_at_k",
+    "hit_at_k",
+    "ndcg_at_k",
+    "mrr_at_k",
+    "average_precision_at_k",
+    "dcg_at_k",
+]
+
+
+def _hits(ranked: Sequence[int], relevant: Set[int], k: int) -> np.ndarray:
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    topk = list(ranked[:k])
+    return np.array([1.0 if item in relevant else 0.0 for item in topk])
+
+
+def recall_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Fraction of the relevant set retrieved in the top K."""
+    if not relevant:
+        return 0.0
+    return float(_hits(ranked, relevant, k).sum() / len(relevant))
+
+
+def precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Fraction of the top K that is relevant."""
+    return float(_hits(ranked, relevant, k).sum() / k)
+
+
+def hit_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """1 if any relevant item appears in the top K."""
+    return float(_hits(ranked, relevant, k).any())
+
+
+def dcg_at_k(gains: np.ndarray) -> float:
+    """Discounted cumulative gain of a binary gain vector (positions 1..n)."""
+    if len(gains) == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
+    return float((gains * discounts).sum())
+
+
+def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Normalized DCG with binary relevance.
+
+    The ideal ranking places min(|relevant|, K) relevant items first.
+    """
+    if not relevant:
+        return 0.0
+    gains = _hits(ranked, relevant, k)
+    ideal = np.ones(min(len(relevant), k))
+    idcg = dcg_at_k(ideal)
+    return dcg_at_k(gains) / idcg if idcg > 0 else 0.0
+
+
+def mrr_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """Reciprocal rank of the first relevant item within the top K."""
+    gains = _hits(ranked, relevant, k)
+    nz = np.flatnonzero(gains)
+    return float(1.0 / (nz[0] + 1)) if nz.size else 0.0
+
+
+def average_precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
+    """AP@K: mean of precision at each relevant position, over min(|rel|, K)."""
+    if not relevant:
+        return 0.0
+    gains = _hits(ranked, relevant, k)
+    cum = np.cumsum(gains)
+    positions = np.arange(1, len(gains) + 1)
+    precisions = cum / positions
+    denom = min(len(relevant), k)
+    return float((precisions * gains).sum() / denom)

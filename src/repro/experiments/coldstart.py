@@ -1,0 +1,90 @@
+"""Cold-start analysis: where the knowledge graph earns its keep.
+
+The literature the paper builds on (Section II-B) motivates knowledge graphs
+as a remedy for cold-start and data sparsity.  This harness slices the test
+users by training-history length and evaluates each slice separately: the
+expected shape is that KG-aware models (CKAT) hold up much better than pure
+collaborative filtering (BPRMF) on the coldest slice, and the gap narrows
+for warm users.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.split import TrainTestSplit
+from repro.eval.evaluator import EvaluationResult, RankingEvaluator
+from repro.utils.tables import TextTable
+
+__all__ = ["ColdStartSlices", "cold_start_report", "slice_users_by_history"]
+
+DEFAULT_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("cold (≤4)", 0, 4),
+    ("medium (5-14)", 5, 14),
+    ("warm (15+)", 15, 10**9),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ColdStartSlices:
+    """Per-bucket evaluation results for one model."""
+
+    model: str
+    buckets: Dict[str, EvaluationResult]
+
+
+def slice_users_by_history(
+    split: TrainTestSplit, buckets: Sequence[Tuple[str, int, int]] = DEFAULT_BUCKETS
+) -> Dict[str, np.ndarray]:
+    """Group test-active users by their number of *training* interactions."""
+    degree = split.train.user_degree()
+    eligible = split.test.active_users()
+    out: Dict[str, np.ndarray] = {}
+    for label, lo, hi in buckets:
+        members = eligible[(degree[eligible] >= lo) & (degree[eligible] <= hi)]
+        if members.size:
+            out[label] = members
+    return out
+
+
+def cold_start_report(
+    models: Dict[str, Callable[[np.ndarray], np.ndarray]],
+    split: TrainTestSplit,
+    k: int = 20,
+    buckets: Sequence[Tuple[str, int, int]] = DEFAULT_BUCKETS,
+) -> Tuple[Dict[str, ColdStartSlices], str]:
+    """Evaluate each model's scoring function per history bucket.
+
+    Parameters
+    ----------
+    models:
+        Mapping model label → ``score_users``-style callable.
+
+    Returns
+    -------
+    (results, rendered_table)
+    """
+    if not models:
+        raise ValueError("no models given")
+    slices = slice_users_by_history(split, buckets)
+    if not slices:
+        raise ValueError("no evaluable users in any bucket")
+    evaluator = RankingEvaluator(split.train, split.test, k=k)
+    results: Dict[str, ColdStartSlices] = {}
+    table = TextTable(
+        ["model"] + [f"{label} (n={len(users)})" for label, users in slices.items()],
+        title=f"Cold-start slices: recall@{k} by training-history length",
+    )
+    for name, score_fn in models.items():
+        per_bucket: Dict[str, EvaluationResult] = {}
+        row: List = [name]
+        for label, users in slices.items():
+            res = evaluator.evaluate(score_fn, users=users)
+            per_bucket[label] = res
+            row.append(res.recall)
+        results[name] = ColdStartSlices(model=name, buckets=per_bucket)
+        table.add_row(row)
+    return results, table.render()

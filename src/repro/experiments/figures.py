@@ -1,0 +1,174 @@
+"""Harnesses regenerating the paper's Figures 3–5.
+
+Figures are reported as data series plus ASCII renderings (this repository
+is plotting-library-free); each harness returns the series the paper plots
+and prints the summary statistics that determine the figure's qualitative
+shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.distributions import UserQueryDistributions, compute_distributions
+from repro.analysis.locality import PairStudyResult, pair_similarity_study, query_concentration
+from repro.analysis.tsne import UserQueryEmbedding, tsne_embed_user_queries
+from repro.experiments.datasets import BenchmarkDataset, load_dataset
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "PAPER_CONCENTRATION",
+    "PAPER_FIG5_RATIOS",
+    "figure3",
+    "figure4",
+    "figure5",
+    "ascii_curve",
+]
+
+# Section III-B2 published statistics.
+PAPER_CONCENTRATION = {
+    "ooi": {"same_region_fraction": 0.431, "same_dtype_fraction": 0.516},
+    "gage": {"same_region_fraction": 0.363, "same_dtype_fraction": 0.688},
+}
+PAPER_FIG5_RATIOS = {
+    "ooi": {"region_ratio": 79.8, "dtype_ratio": 29.8},
+    "gage": {"region_ratio": 22.87, "dtype_ratio": 2.21},
+}
+
+
+def ascii_curve(values: np.ndarray, width: int = 60, height: int = 10, log_y: bool = True) -> str:
+    """Render a monotone curve as ASCII art (used for the Fig-3 series)."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[values > 0] if log_y else values
+    if values.size == 0:
+        return "(empty)"
+    # Downsample to `width` columns.
+    idx = np.linspace(0, len(values) - 1, num=min(width, len(values))).astype(int)
+    ys = values[idx]
+    if log_y:
+        ys = np.log10(ys + 1)
+    lo, hi = ys.min(), ys.max()
+    span = max(hi - lo, 1e-9)
+    rows = []
+    levels = np.round((ys - lo) / span * (height - 1)).astype(int)
+    for level in range(height - 1, -1, -1):
+        rows.append("".join("#" if lv >= level else " " for lv in levels))
+    axis = "-" * len(levels)
+    return "\n".join(rows + [axis])
+
+
+def figure3(
+    datasets: Optional[List[BenchmarkDataset]] = None,
+) -> Tuple[Dict[str, UserQueryDistributions], str]:
+    """Figure 3: per-user query-distribution curves for both facilities."""
+    datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
+    dists: Dict[str, UserQueryDistributions] = {}
+    blocks = []
+    for ds in datasets:
+        d = compute_distributions(ds.trace, ds.catalog)
+        dists[ds.name] = d
+        s = d.summary()
+        blocks.append(
+            f"Figure 3 [{ds.name}] — per-user distinct counts (sorted by activity)\n"
+            f"data objects (max {s['max_objects']}, median {s['median_objects']:.0f}):\n"
+            f"{ascii_curve(d.objects)}\n"
+            f"locations (max {s['max_locations']}), data types (max {s['max_data_types']}); "
+            f"query Gini {s['query_gini']:.3f}, top-10% share {s['objects_tail_ratio']:.2f}"
+        )
+    return dists, "\n\n".join(blocks)
+
+
+def figure4(
+    dataset: Optional[BenchmarkDataset] = None,
+    num_heavy_users: int = 8,
+    seed: int = 0,
+) -> Tuple[Dict[str, UserQueryEmbedding], str]:
+    """Figure 4: t-SNE of heavy same-organization users' queried objects.
+
+    Reports the user-separability contrast: same-org users' point clouds
+    should overlap (score ≈ 0) while users drawn from different
+    organizations should separate (score ≫ same-org score) — the paper's
+    evidence that research groups share query patterns.
+    """
+    ds = dataset or load_dataset("ooi")
+    counts = ds.trace.per_user_counts()
+    org_totals = np.bincount(
+        ds.population.user_org, weights=counts, minlength=ds.population.num_orgs
+    )
+    heavy_org = int(np.argmax(org_totals))
+    members = ds.population.users_of_org(heavy_org)
+    top = members[np.argsort(-counts[members])][:num_heavy_users]
+    same_org = tsne_embed_user_queries(ds.trace, ds.catalog, top, seed=seed)
+
+    rng = np.random.default_rng(seed)
+    # One heavy user from each of `num_heavy_users` distinct organizations.
+    orgs = np.argsort(-org_totals)[:num_heavy_users]
+    cross = np.array(
+        [ds.population.users_of_org(int(o))[0] for o in orgs], dtype=np.int64
+    )
+    cross_org = tsne_embed_user_queries(ds.trace, ds.catalog, cross, seed=seed)
+
+    text = (
+        f"Figure 4 [{ds.name}] — t-SNE of top-{num_heavy_users} users' queried objects\n"
+        f"same-organization user separability:   {same_org.user_separability():.3f}  "
+        f"(≈0 → overlapping clouds, as in the paper)\n"
+        f"cross-organization user separability:  {cross_org.user_separability():.3f}  "
+        f"(larger → distinct clouds)\n"
+        f"points: {len(same_org.points)} same-org / {len(cross_org.points)} cross-org"
+    )
+    return {"same_org": same_org, "cross_org": cross_org}, text
+
+
+def figure5(
+    datasets: Optional[List[BenchmarkDataset]] = None,
+    num_pairs: int = 10_000,
+    seed: int = 0,
+) -> Tuple[Dict[str, PairStudyResult], str]:
+    """Figure 5: same-city vs random user-pair query-pattern probability."""
+    datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
+    results: Dict[str, PairStudyResult] = {}
+    table = TextTable(
+        [
+            "dataset",
+            "P(same site | same city)",
+            "P(same site | random)",
+            "ratio",
+            "paper ratio",
+            "P(same dtype | same city)",
+            "P(same dtype | random)",
+            "ratio ",
+            "paper ratio ",
+        ],
+        title="Figure 5: same-city vs random pair query-pattern probability",
+    )
+    for ds in datasets:
+        r = pair_similarity_study(
+            ds.trace, ds.catalog, ds.population, num_pairs=num_pairs, seed=seed
+        )
+        results[ds.name] = r
+        table.add_row(
+            [
+                ds.name,
+                r.p_region_same_city,
+                r.p_region_random,
+                f"{r.region_ratio:.1f}x",
+                f"{PAPER_FIG5_RATIOS[ds.name]['region_ratio']:.1f}x",
+                r.p_dtype_same_city,
+                r.p_dtype_random,
+                f"{r.dtype_ratio:.1f}x",
+                f"{PAPER_FIG5_RATIOS[ds.name]['dtype_ratio']:.2f}x",
+            ]
+        )
+    # Also report the Section III-B2 concentration statistics.
+    lines = [table.render(), "", "Query concentration (Section III-B2):"]
+    for ds in datasets:
+        c = query_concentration(ds.trace, ds.catalog)
+        p = PAPER_CONCENTRATION[ds.name]
+        lines.append(
+            f"  {ds.name}: same-region {c['same_region_fraction']:.3f} "
+            f"(paper {p['same_region_fraction']:.3f}), same-data-type "
+            f"{c['same_dtype_fraction']:.3f} (paper {p['same_dtype_fraction']:.3f})"
+        )
+    return results, "\n".join(lines)

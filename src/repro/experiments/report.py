@@ -1,0 +1,65 @@
+"""Benchmark-result aggregation.
+
+The benchmark suite writes each rendered table to
+``benchmarks/results/<name>.txt``; :func:`collect_results` gathers them into
+one report (the basis of EXPERIMENTS.md's measured numbers), and
+:func:`results_index` lists what has been produced so far — useful while a
+long suite is still running.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Union
+
+__all__ = ["results_index", "collect_results", "EXPECTED_RESULTS"]
+
+PathLike = Union[str, pathlib.Path]
+
+# Every artifact the full suite produces, in paper order.
+EXPECTED_RESULTS: tuple = (
+    "table1_ckg_stats",
+    "table2_overall",
+    "table2_shape",
+    "table3_knowledge_sources",
+    "table3_shape",
+    "table4_attention",
+    "table4_shape",
+    "table5_depth",
+    "table5_shape",
+    "fig3_distributions",
+    "fig4_tsne",
+    "fig5_locality",
+    "ablation_training",
+    "ablation_partitioning",
+)
+
+
+def results_index(results_dir: PathLike) -> Dict[str, bool]:
+    """Presence map of expected result files (True = produced)."""
+    root = pathlib.Path(results_dir)
+    return {name: (root / f"{name}.txt").exists() for name in EXPECTED_RESULTS}
+
+
+def collect_results(results_dir: PathLike, strict: bool = False) -> str:
+    """Concatenate all produced result tables into one report string.
+
+    ``strict=True`` raises if any expected artifact is missing (useful as a
+    completeness check after a full suite run); otherwise missing artifacts
+    are listed at the end of the report.
+    """
+    root = pathlib.Path(results_dir)
+    produced: List[str] = []
+    missing: List[str] = []
+    for name in EXPECTED_RESULTS:
+        path = root / f"{name}.txt"
+        if path.exists():
+            produced.append(f"## {name}\n\n{path.read_text().rstrip()}")
+        else:
+            missing.append(name)
+    if strict and missing:
+        raise FileNotFoundError(f"missing benchmark artifacts: {missing}")
+    report = "\n\n".join(produced)
+    if missing:
+        report += "\n\n## missing artifacts\n\n" + "\n".join(f"- {m}" for m in missing)
+    return report

@@ -1,0 +1,225 @@
+"""Harnesses regenerating the paper's Tables I–V.
+
+Every ``tableN`` function runs the corresponding experiment and returns a
+``(results, rendered_text)`` pair; the rendered table has the same rows as
+the paper plus the paper's published numbers alongside, so the shape —
+which model wins, which knowledge combination is best, whether attention /
+concat / depth help — can be compared directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.datasets import BenchmarkDataset, load_dataset
+from repro.experiments.runner import MODEL_NAMES, RunResult, run_single_model
+from repro.kg.stats import CKGStats, compute_stats, render_table1
+from repro.kg.subgraphs import KnowledgeSources
+from repro.models.ckat import CKATConfig
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+]
+
+# ------------------------------------------------------------ paper values
+PAPER_TABLE2: Dict[str, Dict[str, Tuple[float, float]]] = {
+    # model: {dataset: (recall@20, ndcg@20)}
+    "BPRMF": {"ooi": (0.1935, 0.1693), "gage": (0.2742, 0.2115)},
+    "FM": {"ooi": (0.2353, 0.2228), "gage": (0.3174, 0.2356)},
+    "NFM": {"ooi": (0.2339, 0.2211), "gage": (0.3289, 0.2471)},
+    "CKE": {"ooi": (0.2102, 0.2197), "gage": (0.2675, 0.2106)},
+    "CFKG": {"ooi": (0.2283, 0.2241), "gage": (0.2572, 0.2096)},
+    "RippleNet": {"ooi": (0.2833, 0.2394), "gage": (0.3584, 0.2981)},
+    "KGCN": {"ooi": (0.3020, 0.2414), "gage": (0.3767, 0.3106)},
+    "CKAT": {"ooi": (0.3217, 0.2561), "gage": (0.4062, 0.3306)},
+}
+
+PAPER_TABLE3: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "UIG+LOC": {"ooi": (0.2675, 0.2322), "gage": (0.3848, 0.3191)},
+    "UIG+DKG": {"ooi": (0.2844, 0.2424), "gage": (0.3643, 0.3148)},
+    "UIG+UUG": {"ooi": (0.2756, 0.2364), "gage": (0.3543, 0.3048)},
+    "UIG+LOC+DKG": {"ooi": (0.3074, 0.2527), "gage": (0.3943, 0.3148)},
+    "UIG+UUG+LOC+DKG": {"ooi": (0.3217, 0.2561), "gage": (0.4062, 0.3306)},
+    "UIG+UUG+LOC+DKG+MD": {"ooi": (0.3197, 0.2511), "gage": (0.4011, 0.3276)},
+}
+
+PAPER_TABLE4: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "w/ Att + concat": {"ooi": (0.3217, 0.2561), "gage": (0.4062, 0.3306)},
+    "w/ Att + sum": {"ooi": (0.3120, 0.2409), "gage": (0.3894, 0.3123)},
+    "w/o Att + concat": {"ooi": (0.2994, 0.2331), "gage": (0.3755, 0.3147)},
+}
+
+PAPER_TABLE5: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "CKAT-1": {"ooi": (0.3108, 0.2471), "gage": (0.3736, 0.3118)},
+    "CKAT-2": {"ooi": (0.3209, 0.2478), "gage": (0.3821, 0.3215)},
+    "CKAT-3": {"ooi": (0.3217, 0.2561), "gage": (0.3919, 0.3278)},
+}
+
+# Table-III knowledge-source combinations, in paper row order.
+TABLE3_COMBINATIONS: List[Tuple[str, KnowledgeSources]] = [
+    ("UIG+LOC", KnowledgeSources(uug=False, loc=True, dkg=False, md=False)),
+    ("UIG+DKG", KnowledgeSources(uug=False, loc=False, dkg=True, md=False)),
+    ("UIG+UUG", KnowledgeSources(uug=True, loc=False, dkg=False, md=False)),
+    ("UIG+LOC+DKG", KnowledgeSources(uug=False, loc=True, dkg=True, md=False)),
+    ("UIG+UUG+LOC+DKG", KnowledgeSources(uug=True, loc=True, dkg=True, md=False)),
+    ("UIG+UUG+LOC+DKG+MD", KnowledgeSources(uug=True, loc=True, dkg=True, md=True)),
+]
+
+
+# ------------------------------------------------------------------ tables
+def table1(
+    ooi: Optional[BenchmarkDataset] = None, gage: Optional[BenchmarkDataset] = None
+) -> Tuple[Dict[str, CKGStats], str]:
+    """Table I: CKG statistics for both facilities."""
+    ooi = ooi or load_dataset("ooi")
+    gage = gage or load_dataset("gage")
+    stats = {}
+    for ds in (ooi, gage):
+        ckg = ds.build_ckg(KnowledgeSources.all_sources())
+        stats[ds.name] = compute_stats(ckg)
+    return stats, render_table1(stats["ooi"], stats["gage"])
+
+
+def table2(
+    datasets: Optional[List[BenchmarkDataset]] = None,
+    models: Tuple[str, ...] = MODEL_NAMES,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
+    """Table II: overall performance comparison across all models."""
+    datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
+    results: Dict[Tuple[str, str], RunResult] = {}
+    ckgs = {ds.name: ds.build_ckg(KnowledgeSources.best()) for ds in datasets}
+    for name in models:
+        for ds in datasets:
+            results[(name, ds.name)] = run_single_model(
+                name, ds, ckg=ckgs[ds.name], epochs=epochs, seed=seed
+            )
+    headers = ["model"]
+    for ds in datasets:
+        headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper", f"{ds.name} n@20 paper"]
+    table = TextTable(headers, title="Table II: overall performance comparison")
+    for name in models:
+        row: List = [name]
+        for ds in datasets:
+            r = results[(name, ds.name)]
+            paper = PAPER_TABLE2.get(name, {}).get(ds.name, (None, None))
+            row += [r.recall, r.ndcg, paper[0], paper[1]]
+        table.add_row(row)
+    if "CKAT" in models:
+        table.add_separator()
+        row = ["% improvement vs best baseline"]
+        for ds in datasets:
+            base = [results[(m, ds.name)] for m in models if m != "CKAT"]
+            best_r = max(b.recall for b in base)
+            best_n = max(b.ndcg for b in base)
+            ck = results[("CKAT", ds.name)]
+            row += [
+                f"{100 * (ck.recall - best_r) / best_r:+.2f}%",
+                f"{100 * (ck.ndcg - best_n) / best_n:+.2f}%",
+                "+6.12%" if ds.name == "ooi" else "+7.26%",
+                "+5.74%" if ds.name == "ooi" else "+6.05%",
+            ]
+        table.add_row(row)
+    return results, table.render()
+
+
+def table3(
+    datasets: Optional[List[BenchmarkDataset]] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
+    """Table III: CKAT under different knowledge-source combinations."""
+    datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for label, sources in TABLE3_COMBINATIONS:
+        for ds in datasets:
+            results[(label, ds.name)] = run_single_model(
+                "CKAT", ds, epochs=epochs, seed=seed, sources=sources
+            )
+    headers = ["knowledge sources"]
+    for ds in datasets:
+        headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper"]
+    table = TextTable(headers, title="Table III: knowledge-source combinations (CKAT)")
+    for label, _ in TABLE3_COMBINATIONS:
+        row: List = [label]
+        for ds in datasets:
+            r = results[(label, ds.name)]
+            row += [r.recall, r.ndcg, PAPER_TABLE3[label][ds.name][0]]
+        table.add_row(row)
+    return results, table.render()
+
+
+def table4(
+    datasets: Optional[List[BenchmarkDataset]] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
+    """Table IV: attention mechanism and aggregator ablation."""
+    datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
+    variants = [
+        ("w/ Att + concat", CKATConfig(aggregator="concat", use_attention=True)),
+        ("w/ Att + sum", CKATConfig(aggregator="sum", use_attention=True)),
+        ("w/o Att + concat", CKATConfig(aggregator="concat", use_attention=False)),
+    ]
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for ds in datasets:
+        ckg = ds.build_ckg(KnowledgeSources.best())
+        for label, cfg in variants:
+            results[(label, ds.name)] = run_single_model(
+                "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+            )
+    headers = ["variant"]
+    for ds in datasets:
+        headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper"]
+    table = TextTable(headers, title="Table IV: attention / aggregator ablation (CKAT)")
+    for label, _ in variants:
+        row: List = [label]
+        for ds in datasets:
+            r = results[(label, ds.name)]
+            row += [r.recall, r.ndcg, PAPER_TABLE4[label][ds.name][0]]
+        table.add_row(row)
+    return results, table.render()
+
+
+def table5(
+    datasets: Optional[List[BenchmarkDataset]] = None,
+    epochs: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
+    """Table V: propagation-layer depth L ∈ {1, 2, 3}."""
+    datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
+    depths = [
+        ("CKAT-1", CKATConfig(layer_dims=(64,))),
+        ("CKAT-2", CKATConfig(layer_dims=(64, 32))),
+        ("CKAT-3", CKATConfig(layer_dims=(64, 32, 16))),
+    ]
+    results: Dict[Tuple[str, str], RunResult] = {}
+    for ds in datasets:
+        ckg = ds.build_ckg(KnowledgeSources.best())
+        for label, cfg in depths:
+            results[(label, ds.name)] = run_single_model(
+                "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+            )
+    headers = ["depth"]
+    for ds in datasets:
+        headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper"]
+    table = TextTable(headers, title="Table V: embedding propagation depth (CKAT)")
+    for label, _ in depths:
+        row: List = [label]
+        for ds in datasets:
+            r = results[(label, ds.name)]
+            row += [r.recall, r.ndcg, PAPER_TABLE5[label][ds.name][0]]
+        table.add_row(row)
+    return results, table.render()

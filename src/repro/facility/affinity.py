@@ -1,0 +1,206 @@
+"""The Section-III affinity model, as an explicit parameterized object.
+
+The paper measures three affinities in the real traces:
+
+1. **Instrument locality** — on average 43.1% (OOI) / 36.3% (GAGE) of a
+   user's queries target data objects from instruments in one region;
+2. **Data-domain affinity** — 51.6% (OOI) / 68.8% of a user's queries target
+   one data type;
+3. **User association** — users from the same organization/city have highly
+   similar query patterns (Fig 4 t-SNE clusters; Fig 5 likelihood ratios).
+
+:class:`AffinityModel` turns those three numbers into a per-user categorical
+distribution over data objects.  A query first (independently) decides
+whether to respect the user's focus region and focus data type, then samples
+an item uniformly from the matching set weighted by global item popularity.
+Because focus is shared within organizations (see
+:mod:`repro.facility.users`), affinity 3 emerges from 1+2 without extra
+machinery — exactly the mechanism the paper hypothesizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.facility.catalog import FacilityCatalog
+from repro.facility.users import UserPopulation
+from repro.utils.validation import check_probability
+
+__all__ = ["AffinityModel", "OOI_AFFINITY", "GAGE_AFFINITY"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AffinityModel:
+    """Per-query affinity strengths.
+
+    Parameters
+    ----------
+    p_region:
+        Probability a query is confined to the user's focus region
+        (calibrates the paper's same-region query fraction).
+    p_dtype:
+        Probability a query is confined to the user's focus data type.
+    popularity_exponent:
+        Items within the admissible set are drawn proportionally to
+        ``(1 + popularity_rank)^-popularity_exponent``; 0 gives uniform.
+        Heavy-tailed item popularity is what produces the Fig-3 curves.
+    """
+
+    p_region: float
+    p_dtype: float
+    popularity_exponent: float = 0.8
+    site_concentration: float = 8.0
+    """Within a region-gated query, the focus *site*'s objects are this many
+    times likelier than the region's other sites — research groups watch
+    specific moorings/stations, which is what makes instrument locality a
+    fine-grained signal (Fig 5 measures it at site granularity)."""
+
+    def __post_init__(self):
+        check_probability("p_region", self.p_region)
+        check_probability("p_dtype", self.p_dtype)
+        if self.popularity_exponent < 0:
+            raise ValueError(f"popularity_exponent must be >= 0, got {self.popularity_exponent}")
+        if self.site_concentration < 1.0:
+            raise ValueError(f"site_concentration must be >= 1, got {self.site_concentration}")
+
+    def item_distribution(
+        self,
+        catalog: FacilityCatalog,
+        focus_region: int,
+        focus_dtype: int,
+        rng: np.random.Generator,
+        base_popularity: Optional[np.ndarray] = None,
+        focus_site: Optional[int] = None,
+    ) -> np.ndarray:
+        """Categorical distribution over data objects for one query decision.
+
+        The region/data-type gates are sampled *per call*, so repeated calls
+        for the same user yield the mixture the affinity probabilities
+        describe.  ``base_popularity`` (unnormalized, length ``num_objects``)
+        lets callers share one popularity vector across users.
+        """
+        n = catalog.num_objects
+        if n == 0:
+            raise ValueError("catalog has no data objects")
+        pop = base_popularity if base_popularity is not None else self.popularity_weights(n)
+        weights = pop.astype(np.float64).copy()
+        if rng.random() < self.p_region:
+            mask = catalog.object_region == focus_region
+            if mask.any():
+                weights = np.where(mask, weights, 0.0)
+                if focus_site is not None:
+                    weights = weights * self._site_boost(catalog, focus_site)
+        if rng.random() < self.p_dtype:
+            mask = catalog.object_dtype == focus_dtype
+            if mask.any() and (weights * mask).sum() > 0:
+                weights = np.where(mask, weights, 0.0)
+        total = weights.sum()
+        if total <= 0:
+            weights = pop.astype(np.float64).copy()
+            total = weights.sum()
+        return weights / total
+
+    def _site_boost(self, catalog: FacilityCatalog, focus_site: int) -> np.ndarray:
+        """Multiplicative weight favoring the focus site's objects."""
+        boost = np.ones(catalog.num_objects, dtype=np.float64)
+        boost[catalog.object_site == focus_site] = self.site_concentration
+        return boost
+
+    def mixture_distribution(
+        self,
+        catalog: FacilityCatalog,
+        focus_region: int,
+        focus_dtype: int,
+        base_popularity: Optional[np.ndarray] = None,
+        focus_site: Optional[int] = None,
+    ) -> np.ndarray:
+        """The *expected* per-query item distribution for a user (closed form).
+
+        Mixing the four gate outcomes analytically lets the trace generator
+        draw all of a user's queries in one vectorized multinomial instead of
+        gating per query — orders of magnitude faster and statistically
+        identical (queries are i.i.d. given the user).
+        """
+        n = catalog.num_objects
+        pop = (base_popularity if base_popularity is not None else self.popularity_weights(n)).astype(
+            np.float64
+        )
+        region_mask = (catalog.object_region == focus_region).astype(np.float64)
+        if focus_site is not None:
+            region_mask = region_mask * self._site_boost(catalog, focus_site)
+        dtype_mask = (catalog.object_dtype == focus_dtype).astype(np.float64)
+
+        # Fallbacks mirror item_distribution's gate semantics exactly: an
+        # empty region gate is skipped; a dtype gate that would empty the
+        # result is skipped (keeping whatever the region gate produced).
+        free = pop / pop.sum()
+
+        def norm_or(w: np.ndarray, fallback: np.ndarray) -> np.ndarray:
+            s = w.sum()
+            return w / s if s > 0 else fallback
+
+        pr, pd = self.p_region, self.p_dtype
+        region_only = norm_or(pop * region_mask, free)
+        dtype_only = norm_or(pop * dtype_mask, free)
+        if (pop * region_mask).sum() > 0:
+            both = norm_or(pop * region_mask * dtype_mask, region_only)
+        else:
+            both = dtype_only
+        return (
+            pr * pd * both
+            + pr * (1 - pd) * region_only
+            + (1 - pr) * pd * dtype_only
+            + (1 - pr) * (1 - pd) * free
+        )
+
+    def popularity_weights(self, num_objects: int) -> np.ndarray:
+        """Zipf-like unnormalized popularity over object ids.
+
+        Ranks are assigned by a fixed pseudorandom permutation of object ids
+        (deterministic in ``num_objects``).  The permutation matters: object
+        ids are emitted instrument-by-instrument, so rank-by-id would place
+        all the most popular objects on one instrument/site and popularity
+        would masquerade as locality.
+        """
+        ranks = np.arange(1, num_objects + 1, dtype=np.float64)
+        weights = ranks**-self.popularity_exponent
+        perm = np.random.default_rng(0xC0FFEE).permutation(num_objects)
+        return weights[perm]
+
+    def user_mixtures(
+        self, catalog: FacilityCatalog, population: UserPopulation
+    ) -> np.ndarray:
+        """Stack of per-user expected item distributions, shape (M, N).
+
+        Memory: M×N float64 — for the default scales (≤2k users × ≤2.5k
+        items) this is ≤40 MB, well worth it for fully vectorized trace
+        generation.
+        """
+        pop = self.popularity_weights(catalog.num_objects)
+        # Users sharing (focus_site, focus_dtype) share a row; compute each
+        # distinct combination once.  (The site determines the region.)
+        nd = catalog.num_data_types
+        keys = population.user_focus_site * nd + population.user_focus_dtype
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        site_region = catalog.site_region
+        rows = np.empty((len(uniq), catalog.num_objects), dtype=np.float64)
+        for k, key in enumerate(uniq):
+            site = int(key // nd)
+            dtype = int(key % nd)
+            rows[k] = self.mixture_distribution(
+                catalog, int(site_region[site]), dtype, base_popularity=pop, focus_site=site
+            )
+        return rows[inverse]
+
+
+# Calibrated presets: chosen so the *measured* same-region / same-data-type
+# query fractions (repro.analysis.locality.query_concentration) land near the
+# paper's Section III-B2 numbers (OOI 43.1% region / 51.6% data type; GAGE
+# 36.3% / 68.8%).  The gate probabilities sit below the targets because
+# ungated queries also land in the user's focus region/type by chance, which
+# the measurement counts.
+OOI_AFFINITY = AffinityModel(p_region=0.36, p_dtype=0.53, popularity_exponent=0.8, site_concentration=20.0)
+GAGE_AFFINITY = AffinityModel(p_region=0.25, p_dtype=0.67, popularity_exponent=0.8, site_concentration=20.0)

@@ -1,0 +1,239 @@
+"""Facility schema: the structured metadata a facility publishes.
+
+The paper's Fig. 1 shows the attribute vocabulary of a data object:
+``generatedBy`` (instrument), ``locatedAt`` (site), ``dataType``,
+``dataDiscipline``, ``deliveryMethod``.  This module defines those entities
+as dataclasses and a :class:`FacilityCatalog` container that also exposes
+*integer-coded attribute arrays* for vectorized analysis and KG construction
+(guides: structure-of-arrays beats object traversal in hot paths).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.facility.geo import GeoPoint, Region
+
+__all__ = [
+    "DataType",
+    "InstrumentClass",
+    "Site",
+    "Instrument",
+    "DataObject",
+    "FacilityCatalog",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DataType:
+    """A kind of measurement a facility serves (e.g. Pressure, RINEX obs)."""
+
+    dtype_id: int
+    name: str
+    discipline: str
+
+
+@dataclasses.dataclass(frozen=True)
+class InstrumentClass:
+    """A class of deployable instrument (e.g. CTD, BOTPT, GNSS receiver).
+
+    ``group`` is free metadata (the MD noise source in Table III);
+    ``dtype_ids`` lists the data types this class can measure.
+    """
+
+    class_id: int
+    name: str
+    dtype_ids: Tuple[int, ...]
+    group: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Site:
+    """A fixed deployment location, member of exactly one region/array."""
+
+    site_id: int
+    name: str
+    region_id: int
+    location: GeoPoint
+    city: Optional[str] = None
+    state: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Instrument:
+    """A concrete instrument: an instrument class deployed at a site."""
+
+    instrument_id: int
+    class_id: int
+    site_id: int
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class DataObject:
+    """A recommendable item: one data product of one instrument.
+
+    This is the ``v ∈ V`` of Section IV — what users query and what the
+    recommender ranks.  ``processing_level`` is optional extra metadata
+    (used by the OOI-like facility; part of the MD noise source).
+    """
+
+    object_id: int
+    instrument_id: int
+    dtype_id: int
+    delivery_method: str
+    processing_level: Optional[str] = None
+
+
+class FacilityCatalog:
+    """All published metadata of one facility plus vectorized views.
+
+    Parameters
+    ----------
+    name:
+        Facility name ("OOI-like", "GAGE-like").
+    regions, sites, instrument_classes, instruments, data_types, objects:
+        Entity lists; each entity's id must equal its list index.
+    delivery_methods:
+        The vocabulary of delivery methods used by ``objects``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        regions: Sequence[Region],
+        sites: Sequence[Site],
+        instrument_classes: Sequence[InstrumentClass],
+        instruments: Sequence[Instrument],
+        data_types: Sequence[DataType],
+        objects: Sequence[DataObject],
+        delivery_methods: Sequence[str],
+    ):
+        self.name = name
+        self.regions = list(regions)
+        self.sites = list(sites)
+        self.instrument_classes = list(instrument_classes)
+        self.instruments = list(instruments)
+        self.data_types = list(data_types)
+        self.objects = list(objects)
+        self.delivery_methods = list(delivery_methods)
+        self._validate()
+        self._build_arrays()
+
+    # ------------------------------------------------------------ validation
+    def _validate(self) -> None:
+        for label, seq, attr in (
+            ("region", self.regions, "region_id"),
+            ("site", self.sites, "site_id"),
+            ("instrument class", self.instrument_classes, "class_id"),
+            ("instrument", self.instruments, "instrument_id"),
+            ("data type", self.data_types, "dtype_id"),
+            ("data object", self.objects, "object_id"),
+        ):
+            for i, entity in enumerate(seq):
+                if getattr(entity, attr) != i:
+                    raise ValueError(f"{label} at index {i} has id {getattr(entity, attr)}")
+        n_regions = len(self.regions)
+        for site in self.sites:
+            if not 0 <= site.region_id < n_regions:
+                raise ValueError(f"site {site.site_id} references unknown region {site.region_id}")
+        for inst in self.instruments:
+            if not 0 <= inst.class_id < len(self.instrument_classes):
+                raise ValueError(f"instrument {inst.instrument_id} references unknown class {inst.class_id}")
+            if not 0 <= inst.site_id < len(self.sites):
+                raise ValueError(f"instrument {inst.instrument_id} references unknown site {inst.site_id}")
+        delivery_set = set(self.delivery_methods)
+        for obj in self.objects:
+            if not 0 <= obj.instrument_id < len(self.instruments):
+                raise ValueError(f"object {obj.object_id} references unknown instrument {obj.instrument_id}")
+            if not 0 <= obj.dtype_id < len(self.data_types):
+                raise ValueError(f"object {obj.object_id} references unknown data type {obj.dtype_id}")
+            inst = self.instruments[obj.instrument_id]
+            klass = self.instrument_classes[inst.class_id]
+            if obj.dtype_id not in klass.dtype_ids:
+                raise ValueError(
+                    f"object {obj.object_id} has data type {obj.dtype_id} not measured by "
+                    f"instrument class {klass.name}"
+                )
+            if obj.delivery_method not in delivery_set:
+                raise ValueError(f"object {obj.object_id} has unknown delivery method {obj.delivery_method!r}")
+
+    # --------------------------------------------------------- coded arrays
+    def _build_arrays(self) -> None:
+        n = len(self.objects)
+        self.object_instrument = np.array([o.instrument_id for o in self.objects], dtype=np.int64)
+        self.object_dtype = np.array([o.dtype_id for o in self.objects], dtype=np.int64)
+        inst_site = np.array([i.site_id for i in self.instruments], dtype=np.int64)
+        inst_class = np.array([i.class_id for i in self.instruments], dtype=np.int64)
+        site_region = np.array([s.region_id for s in self.sites], dtype=np.int64)
+        self.object_site = inst_site[self.object_instrument] if n else np.zeros(0, dtype=np.int64)
+        self.object_class = inst_class[self.object_instrument] if n else np.zeros(0, dtype=np.int64)
+        self.object_region = site_region[self.object_site] if n else np.zeros(0, dtype=np.int64)
+        discipline_names = sorted({d.discipline for d in self.data_types})
+        self.discipline_names: List[str] = discipline_names
+        discipline_code: Dict[str, int] = {d: i for i, d in enumerate(discipline_names)}
+        dtype_discipline = np.array(
+            [discipline_code[d.discipline] for d in self.data_types], dtype=np.int64
+        )
+        self.dtype_discipline = dtype_discipline
+        self.object_discipline = dtype_discipline[self.object_dtype] if n else np.zeros(0, dtype=np.int64)
+        delivery_code = {m: i for i, m in enumerate(self.delivery_methods)}
+        self.object_delivery = np.array(
+            [delivery_code[o.delivery_method] for o in self.objects], dtype=np.int64
+        )
+        # Processing levels are optional; code -1 for "absent".
+        level_names = sorted({o.processing_level for o in self.objects if o.processing_level})
+        self.processing_level_names: List[str] = level_names
+        level_code = {name: i for i, name in enumerate(level_names)}
+        self.object_level = np.array(
+            [level_code.get(o.processing_level, -1) for o in self.objects], dtype=np.int64
+        )
+        self.site_region = site_region
+        self.instrument_site = inst_site
+        self.instrument_class = inst_class
+        self.site_lat = np.array([s.location.lat for s in self.sites], dtype=np.float64)
+        self.site_lon = np.array([s.location.lon for s in self.sites], dtype=np.float64)
+
+    # ---------------------------------------------------------------- sizes
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def num_data_types(self) -> int:
+        return len(self.data_types)
+
+    @property
+    def num_disciplines(self) -> int:
+        return len(self.discipline_names)
+
+    @property
+    def num_instrument_classes(self) -> int:
+        return len(self.instrument_classes)
+
+    @property
+    def num_instruments(self) -> int:
+        return len(self.instruments)
+
+    def describe(self) -> str:
+        """One-line structural summary used by examples and benches."""
+        return (
+            f"{self.name}: {self.num_objects} data objects, "
+            f"{self.num_instruments} instruments ({self.num_instrument_classes} classes), "
+            f"{self.num_sites} sites in {self.num_regions} regions, "
+            f"{self.num_data_types} data types in {self.num_disciplines} disciplines"
+        )
+
+    def __repr__(self) -> str:
+        return f"FacilityCatalog({self.describe()})"

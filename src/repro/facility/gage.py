@@ -1,0 +1,262 @@
+"""GAGE-like facility builder.
+
+The Geodetic Facility for the Advancement of Geoscience operates permanent
+GPS/GNSS stations; the paper's trace covers 2,106 US stations across 338
+cities and 48 states serving 12 data types (Section III-B).  This module
+builds a synthetic catalog with the same shape at a configurable scale: GNSS
+stations are the instruments, cities/states are the location hierarchy, and
+data objects are station × data-product pairs.
+
+In catalog terms each *station* is both a :class:`~repro.facility.catalog.Site`
+(it has a location, member of a state-level region) and an
+:class:`~repro.facility.catalog.Instrument` (one GNSS receiver per station);
+networks (PBO, COCONet, …) play the role of instrument groups and form the MD
+noise source of Table III.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.facility.catalog import (
+    DataObject,
+    DataType,
+    FacilityCatalog,
+    Instrument,
+    InstrumentClass,
+    Site,
+)
+from repro.facility.geo import GeoPoint, Region, jitter_around
+from repro.utils.rng import ensure_rng
+
+__all__ = ["GAGEConfig", "build_gage_catalog", "GAGE_DATA_TYPES", "US_STATES"]
+
+# (data type, discipline) — the 12 GAGE/UNAVCO product families.
+GAGE_DATA_TYPES: Tuple[Tuple[str, str], ...] = (
+    ("RINEX Observations", "GNSS"),
+    ("RINEX Navigation", "GNSS"),
+    ("High-rate GNSS", "GNSS"),
+    ("Real-time Streams", "GNSS"),
+    ("Position Time Series", "Geodesy"),
+    ("Station Velocities", "Geodesy"),
+    ("Strain Data", "Geophysics"),
+    ("Seismic Data", "Geophysics"),
+    ("Tilt Data", "Geophysics"),
+    ("Meteorological Data", "Atmosphere"),
+    ("Tropospheric Products", "Atmosphere"),
+    ("Hydrological Loading", "Atmosphere"),
+)
+
+_GAGE_NETWORKS = (
+    "PBO",
+    "COCONet",
+    "TLALOCNet",
+    "SCIGN",
+    "BARD",
+    "PANGA",
+    "CORS-Partner",
+    "UNAVCO-Campaign",
+    "NOTA-Core",
+    "NOTA-Borehole",
+    "GeoNet-Partner",
+    "Polar-Net",
+)
+
+_GAGE_DELIVERY = ("FTP Archive", "Real-time")
+
+# The 48 contiguous US states with approximate centroid coordinates, used as
+# the region layer.  Station counts are weighted toward the seismically
+# active west (as in the real GAGE network).
+US_STATES: Tuple[Tuple[str, float, float, float], ...] = (
+    ("California", 37.2, -119.3, 8.0),
+    ("Oregon", 43.9, -120.6, 4.0),
+    ("Washington", 47.4, -120.5, 4.0),
+    ("Rhode Island", 41.7, -71.5, 0.2),
+    ("Nevada", 39.3, -116.6, 3.0),
+    ("Utah", 39.3, -111.7, 2.0),
+    ("Arizona", 34.3, -111.7, 2.0),
+    ("Idaho", 44.4, -114.6, 1.5),
+    ("Montana", 47.0, -109.6, 1.5),
+    ("Wyoming", 43.0, -107.5, 1.5),
+    ("Colorado", 39.0, -105.5, 2.0),
+    ("New Mexico", 34.4, -106.1, 1.5),
+    ("Texas", 31.5, -99.3, 1.5),
+    ("Oklahoma", 35.6, -97.5, 0.8),
+    ("Kansas", 38.5, -98.4, 0.5),
+    ("Nebraska", 41.5, -99.8, 0.5),
+    ("South Dakota", 44.4, -100.2, 0.5),
+    ("North Dakota", 47.4, -100.5, 0.5),
+    ("Minnesota", 46.3, -94.3, 0.5),
+    ("Iowa", 42.1, -93.5, 0.4),
+    ("Missouri", 38.4, -92.5, 0.6),
+    ("Arkansas", 34.9, -92.4, 0.5),
+    ("Louisiana", 31.1, -92.0, 0.4),
+    ("Mississippi", 32.7, -89.7, 0.3),
+    ("Alabama", 32.8, -86.8, 0.3),
+    ("Georgia", 32.6, -83.4, 0.5),
+    ("Florida", 28.6, -82.4, 0.6),
+    ("South Carolina", 33.9, -80.9, 0.4),
+    ("North Carolina", 35.5, -79.4, 0.5),
+    ("Tennessee", 35.8, -86.4, 0.5),
+    ("Kentucky", 37.5, -85.3, 0.4),
+    ("Virginia", 37.5, -78.9, 0.5),
+    ("West Virginia", 38.6, -80.6, 0.3),
+    ("Ohio", 40.3, -82.8, 0.5),
+    ("Indiana", 39.9, -86.3, 0.4),
+    ("Illinois", 40.0, -89.2, 0.5),
+    ("Wisconsin", 44.6, -89.7, 0.4),
+    ("Michigan", 44.3, -85.4, 0.4),
+    ("Pennsylvania", 40.9, -77.8, 0.5),
+    ("New York", 42.9, -75.6, 0.6),
+    ("Vermont", 44.1, -72.7, 0.3),
+    ("New Hampshire", 43.7, -71.6, 0.3),
+    ("Maine", 45.4, -69.2, 0.4),
+    ("Massachusetts", 42.3, -71.8, 0.4),
+    ("Connecticut", 41.6, -72.7, 0.3),
+    ("New Jersey", 40.2, -74.7, 0.3),
+    ("Maryland", 39.0, -76.8, 0.3),
+    ("Delaware", 39.0, -75.5, 0.2),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GAGEConfig:
+    """Scale parameters for the GAGE-like catalog.
+
+    The real facility has 2,106 US stations; ``num_stations`` defaults to a
+    ~3.5× scale-down so the full pipeline (KG + all models) runs in minutes
+    on one core while keeping the CKG in the Table-I size class.
+    """
+
+    num_stations: int = 600
+    num_cities: int = 200
+    dtypes_per_station_mean: float = 3.4
+    networks_per_station_mean: float = 1.5
+    city_radius_km: float = 35.0
+
+    def __post_init__(self):
+        if self.num_stations < self.num_cities:
+            raise ValueError(
+                f"num_stations={self.num_stations} must be >= num_cities={self.num_cities}"
+            )
+        if self.num_cities < len(US_STATES):
+            raise ValueError(
+                f"num_cities={self.num_cities} must be >= number of states {len(US_STATES)}"
+            )
+
+
+def build_gage_catalog(config: GAGEConfig = GAGEConfig(), seed=0) -> FacilityCatalog:
+    """Build a GAGE-like :class:`FacilityCatalog`.
+
+    The returned catalog uses one region per US state; each
+    :class:`~repro.facility.catalog.Site` is a station location with its
+    ``city``/``state`` fields filled in (the KG builder turns these into the
+    locatedAt → city → state hierarchy).
+    """
+    rng = ensure_rng(seed)
+
+    regions = [
+        Region(region_id=i, name=name, center=GeoPoint(lat, lon), radius_km=300.0)
+        for i, (name, lat, lon, _w) in enumerate(US_STATES)
+    ]
+    weights = np.array([w for (_n, _a, _o, w) in US_STATES], dtype=np.float64)
+    weights /= weights.sum()
+
+    data_types = [DataType(i, name, disc) for i, (name, disc) in enumerate(GAGE_DATA_TYPES)]
+
+    # One instrument class per network: a GNSS receiver package whose group
+    # is the network name (the MD noise source).  All classes can measure
+    # all 12 data types — what a station serves is decided per station.
+    all_dtypes = tuple(range(len(data_types)))
+    classes = [
+        InstrumentClass(class_id=i, name=f"GNSS-{net}", dtype_ids=all_dtypes, group=net)
+        for i, net in enumerate(_GAGE_NETWORKS)
+    ]
+
+    # Cities: each state gets at least one city; remaining cities follow the
+    # station-count weighting so California has many, Delaware few.
+    n_states = len(regions)
+    city_state = np.concatenate(
+        [np.arange(n_states), rng.choice(n_states, size=config.num_cities - n_states, p=weights)]
+    )
+    city_names: List[str] = []
+    city_lat = np.empty(config.num_cities)
+    city_lon = np.empty(config.num_cities)
+    per_state_counter = np.zeros(n_states, dtype=np.int64)
+    for c in range(config.num_cities):
+        s = int(city_state[c])
+        per_state_counter[s] += 1
+        city_names.append(f"{US_STATES[s][0]} City {per_state_counter[s]}")
+        lats, lons = jitter_around(regions[s].center, 250.0, rng, n=1)
+        city_lat[c], city_lon[c] = lats[0], lons[0]
+
+    # Stations: at least one per city, the rest weighted by state weights
+    # applied through the city layer.
+    city_weights = weights[city_state]
+    city_weights = city_weights / city_weights.sum()
+    station_city = np.concatenate(
+        [
+            np.arange(config.num_cities),
+            rng.choice(config.num_cities, size=config.num_stations - config.num_cities, p=city_weights),
+        ]
+    )
+    sites: List[Site] = []
+    instruments: List[Instrument] = []
+    for st in range(config.num_stations):
+        c = int(station_city[st])
+        s = int(city_state[c])
+        lats, lons = jitter_around(
+            GeoPoint(float(city_lat[c]), float(city_lon[c])), config.city_radius_km, rng, n=1
+        )
+        code = f"P{st:04d}"
+        sites.append(
+            Site(
+                site_id=st,
+                name=code,
+                region_id=s,
+                location=GeoPoint(float(lats[0]), float(lons[0])),
+                city=city_names[c],
+                state=US_STATES[s][0],
+            )
+        )
+        # Station's primary network membership decides its instrument class.
+        class_id = int(rng.integers(len(classes)))
+        instruments.append(
+            Instrument(instrument_id=st, class_id=class_id, site_id=st, name=f"GNSS@{code}")
+        )
+
+    # Data objects: each station serves a Poisson-sized subset of the 12
+    # products.  RINEX observations are near-universal; specialist products
+    # (strain, seismic) are rarer, mirroring the real archive.
+    dtype_popularity = np.array(
+        [5.0, 3.0, 1.5, 1.0, 2.5, 2.0, 0.6, 0.6, 0.5, 1.2, 0.8, 0.4], dtype=np.float64
+    )
+    dtype_popularity /= dtype_popularity.sum()
+    objects: List[DataObject] = []
+    for st in range(config.num_stations):
+        k = int(np.clip(rng.poisson(config.dtypes_per_station_mean), 1, len(data_types)))
+        chosen = rng.choice(len(data_types), size=k, replace=False, p=dtype_popularity)
+        for dtype_id in np.sort(chosen):
+            delivery = _GAGE_DELIVERY[int(rng.integers(len(_GAGE_DELIVERY)))]
+            objects.append(
+                DataObject(
+                    object_id=len(objects),
+                    instrument_id=st,
+                    dtype_id=int(dtype_id),
+                    delivery_method=delivery,
+                )
+            )
+
+    return FacilityCatalog(
+        name="GAGE-like",
+        regions=regions,
+        sites=sites,
+        instrument_classes=classes,
+        instruments=instruments,
+        data_types=data_types,
+        objects=objects,
+        delivery_methods=list(_GAGE_DELIVERY),
+    )

@@ -1,0 +1,104 @@
+"""Geographic primitives for the facility simulators.
+
+Facilities deploy instruments at geo-referenced sites grouped into *regions*
+(OOI calls them research arrays; GAGE groups stations by state).  User
+organizations also live at coordinates; the Section-III locality affinity is
+expressed through these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+EARTH_RADIUS_KM = 6371.0088
+
+__all__ = ["GeoPoint", "Region", "haversine_km", "pairwise_haversine_km", "jitter_around"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoPoint:
+    """A (latitude, longitude) pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self):
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometers."""
+        return float(haversine_km(self.lat, self.lon, other.lat, other.lon))
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A named geographic region with a center and characteristic radius.
+
+    For OOI this models a research array (e.g. "Cabled Axial Seamount");
+    for GAGE, a state-level grouping of GNSS stations.
+    """
+
+    region_id: int
+    name: str
+    center: GeoPoint
+    radius_km: float
+
+    def __post_init__(self):
+        if self.radius_km <= 0:
+            raise ValueError(f"radius_km must be positive, got {self.radius_km}")
+
+    def contains(self, point: GeoPoint) -> bool:
+        """Whether ``point`` falls within the characteristic radius."""
+        return self.center.distance_km(point) <= self.radius_km
+
+
+def haversine_km(
+    lat1: Union[float, np.ndarray],
+    lon1: Union[float, np.ndarray],
+    lat2: Union[float, np.ndarray],
+    lon2: Union[float, np.ndarray],
+) -> Union[float, np.ndarray]:
+    """Vectorized great-circle distance in km between (lat1,lon1) and (lat2,lon2).
+
+    Accepts scalars or broadcastable arrays of degrees.
+    """
+    lat1, lon1, lat2, lon2 = (np.radians(np.asarray(x, dtype=np.float64)) for x in (lat1, lon1, lat2, lon2))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def pairwise_haversine_km(lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+    """Full pairwise distance matrix (n×n) for n points, vectorized."""
+    lats = np.asarray(lats, dtype=np.float64)
+    lons = np.asarray(lons, dtype=np.float64)
+    return haversine_km(lats[:, None], lons[:, None], lats[None, :], lons[None, :])
+
+
+def jitter_around(
+    center: GeoPoint, radius_km: float, rng: np.random.Generator, n: int = 1
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` points uniformly within ``radius_km`` of ``center``.
+
+    Returns (lats, lons) arrays.  Uses the small-angle planar approximation
+    (adequate at facility scales, ≤ a few hundred km) with longitude scaled
+    by cos(latitude), then clips to valid ranges.
+    """
+    if radius_km <= 0:
+        raise ValueError(f"radius_km must be positive, got {radius_km}")
+    r = radius_km * np.sqrt(rng.random(n))
+    theta = rng.uniform(0.0, 2.0 * math.pi, n)
+    dlat = (r * np.sin(theta)) / 111.32  # km per degree latitude
+    coslat = max(math.cos(math.radians(center.lat)), 1e-6)
+    dlon = (r * np.cos(theta)) / (111.32 * coslat)
+    lats = np.clip(center.lat + dlat, -90.0, 90.0)
+    lons = ((center.lon + dlon + 180.0) % 360.0) - 180.0
+    return lats, lons

@@ -1,0 +1,145 @@
+"""Temporal structure for query traces: sessions, diurnal and weekly cycles.
+
+The base trace generator stamps queries uniformly over the simulated year.
+Real facility logs are bursty — users work in *sessions* (clusters of
+queries minutes apart), during working hours, on weekdays.  This module
+re-stamps a trace with that structure, and provides the measurement
+functions that verify it (inter-arrival statistics, hour-of-day profile).
+
+This matters beyond realism: session structure is one of the trace features
+our attribute-driven generative model lacks relative to the paper's real
+logs (see EXPERIMENTS.md, Table II discussion), and this module is the
+hook for closing that gap in future work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.facility.trace import SECONDS_PER_YEAR, QueryTrace
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["SessionConfig", "add_session_structure", "interarrival_stats", "hour_of_day_profile"]
+
+SECONDS_PER_DAY = 24 * 3600
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionConfig:
+    """Parameters of the session process.
+
+    Queries are grouped into sessions of geometric size (mean
+    ``mean_session_length``); session start times prefer working hours
+    (lognormal around ``peak_hour``) on weekdays (weekend activity damped by
+    ``weekend_factor``); within a session, queries are seconds-to-minutes
+    apart (exponential with mean ``intra_session_gap``).
+    """
+
+    mean_session_length: float = 6.0
+    intra_session_gap: float = 90.0  # seconds
+    peak_hour: float = 14.0
+    hour_spread: float = 3.5
+    weekend_factor: float = 0.25
+
+    def __post_init__(self):
+        check_positive("mean_session_length", self.mean_session_length)
+        check_positive("intra_session_gap", self.intra_session_gap)
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ValueError(f"peak_hour must be in [0, 24), got {self.peak_hour}")
+        check_positive("hour_spread", self.hour_spread)
+        if not 0.0 < self.weekend_factor <= 1.0:
+            raise ValueError(f"weekend_factor must be in (0, 1], got {self.weekend_factor}")
+
+
+def add_session_structure(
+    trace: QueryTrace, config: SessionConfig = SessionConfig(), seed=0
+) -> QueryTrace:
+    """Return a copy of ``trace`` with session-structured timestamps.
+
+    Each user's records are regrouped into sessions; record order within a
+    user is preserved (queries keep their objects, only timing changes), and
+    the global record order is re-sorted by the new timestamps.
+    """
+    rng = ensure_rng(seed)
+    new_ts = np.empty(len(trace), dtype=np.float64)
+    for user in range(trace.num_users):
+        idx = np.flatnonzero(trace.user_ids == user)
+        n = len(idx)
+        if n == 0:
+            continue
+        # Partition the user's n queries into sessions of geometric size.
+        sessions = []
+        remaining = n
+        while remaining > 0:
+            size = min(1 + rng.geometric(1.0 / config.mean_session_length) - 1, remaining)
+            size = max(size, 1)
+            sessions.append(size)
+            remaining -= size
+        starts = _sample_session_starts(len(sessions), config, rng)
+        pos = 0
+        for start, size in zip(starts, sessions):
+            gaps = rng.exponential(config.intra_session_gap, size=size)
+            gaps[0] = 0.0
+            times = start + np.cumsum(gaps)
+            new_ts[idx[pos : pos + size]] = times
+            pos += size
+    order = np.argsort(new_ts, kind="stable")
+    return QueryTrace(
+        user_ids=trace.user_ids[order],
+        object_ids=trace.object_ids[order],
+        timestamps=np.clip(new_ts[order], 0.0, SECONDS_PER_YEAR),
+        num_users=trace.num_users,
+        num_objects=trace.num_objects,
+    )
+
+
+def _sample_session_starts(
+    n_sessions: int, config: SessionConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Session start times over the year, biased to weekday working hours."""
+    starts = np.empty(n_sessions)
+    for i in range(n_sessions):
+        while True:
+            day = int(rng.integers(0, 365))
+            weekday = day % 7  # day 0 is a Monday by convention
+            if weekday >= 5 and rng.random() > config.weekend_factor:
+                continue
+            hour = rng.normal(config.peak_hour, config.hour_spread) % 24.0
+            starts[i] = day * SECONDS_PER_DAY + hour * 3600.0
+            break
+    return np.sort(starts)
+
+
+def interarrival_stats(trace: QueryTrace, session_gap_threshold: float = 1800.0) -> Dict[str, float]:
+    """Per-user inter-arrival statistics and the burstiness signature.
+
+    ``fraction_within_session`` is the share of consecutive same-user gaps
+    below ``session_gap_threshold`` (default 30 min); bursty traces have a
+    high value, uniform traces a low one.
+    """
+    gaps = []
+    for user in range(trace.num_users):
+        ts = np.sort(trace.timestamps[trace.user_ids == user])
+        if len(ts) >= 2:
+            gaps.append(np.diff(ts))
+    if not gaps:
+        return {"median_gap_seconds": float("nan"), "fraction_within_session": 0.0}
+    flat = np.concatenate(gaps)
+    return {
+        "median_gap_seconds": float(np.median(flat)),
+        "mean_gap_seconds": float(flat.mean()),
+        "fraction_within_session": float((flat < session_gap_threshold).mean()),
+    }
+
+
+def hour_of_day_profile(trace: QueryTrace) -> np.ndarray:
+    """Fraction of queries per hour of day (length 24, sums to 1)."""
+    hours = ((trace.timestamps % SECONDS_PER_DAY) // 3600).astype(np.int64)
+    counts = np.bincount(hours, minlength=24).astype(np.float64)
+    total = counts.sum()
+    return counts / total if total else counts

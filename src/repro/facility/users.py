@@ -1,0 +1,251 @@
+"""Synthetic user population for facility query traces.
+
+The paper identifies users by public IP and geolocates them to city
+granularity; users from the same institution share a subnet (Section III-B).
+We model this directly: a population of *organizations* (research groups at
+universities/institutes), each placed in a city, with member users.  Users
+inherit their organization's city, and each organization carries a research
+*focus* — a home region and home discipline/data-type distribution — which is
+what makes same-organization (and, because organizations dominate cities,
+same-city) users query alike.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.facility.catalog import FacilityCatalog
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Organization", "UserPopulation", "build_user_population"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Organization:
+    """A research group: city-located, with a facility-research focus.
+
+    ``focus_region`` / ``focus_site`` / ``focus_dtype`` index into the
+    facility catalog's regions, sites and data types; they parameterize the
+    affinity model.  The focus site lies within the focus region (a group
+    studying the Axial Seamount watches specific moorings there).
+    """
+
+    org_id: int
+    name: str
+    city_id: int
+    focus_region: int
+    focus_site: int
+    focus_dtype: int
+    weight: float  # relative user-count weight (Zipf-like across orgs)
+
+
+class UserPopulation:
+    """The ``U`` of Section IV, with organization and city structure.
+
+    Attributes (all integer-coded NumPy arrays of length ``num_users``):
+
+    - ``user_org`` — organization id per user;
+    - ``user_city`` — city id per user (inherited from the organization);
+    - ``user_focus_region`` / ``user_focus_dtype`` — per-user focus, equal to
+      the organization's focus for most users with a small fraction of
+      individual deviation (not every member works on the group's main
+      project).
+    """
+
+    def __init__(
+        self,
+        organizations: Sequence[Organization],
+        user_org: np.ndarray,
+        user_focus_region: np.ndarray,
+        user_focus_dtype: np.ndarray,
+        city_names: Sequence[str],
+        user_focus_site: Optional[np.ndarray] = None,
+    ):
+        self.organizations = list(organizations)
+        self.user_org = np.asarray(user_org, dtype=np.int64)
+        self.user_focus_region = np.asarray(user_focus_region, dtype=np.int64)
+        self.user_focus_dtype = np.asarray(user_focus_dtype, dtype=np.int64)
+        if self.user_org.size and (
+            self.user_org.min() < 0 or self.user_org.max() >= len(self.organizations)
+        ):
+            raise ValueError("user_org references unknown organization")
+        if user_focus_site is None:
+            org_site = np.array([o.focus_site for o in self.organizations], dtype=np.int64)
+            user_focus_site = org_site[self.user_org]
+        self.user_focus_site = np.asarray(user_focus_site, dtype=np.int64)
+        self.city_names = list(city_names)
+        org_city = np.array([o.city_id for o in self.organizations], dtype=np.int64)
+        self.user_city = org_city[self.user_org]
+        if not (
+            len(self.user_org)
+            == len(self.user_focus_region)
+            == len(self.user_focus_dtype)
+            == len(self.user_focus_site)
+        ):
+            raise ValueError("user attribute arrays must have equal length")
+        if self.user_org.size and self.user_org.max() >= len(self.organizations):
+            raise ValueError("user_org references unknown organization")
+
+    @property
+    def num_users(self) -> int:
+        return len(self.user_org)
+
+    @property
+    def num_orgs(self) -> int:
+        return len(self.organizations)
+
+    @property
+    def num_cities(self) -> int:
+        return len(self.city_names)
+
+    def users_of_org(self, org_id: int) -> np.ndarray:
+        """Indices of the users belonging to ``org_id``."""
+        return np.flatnonzero(self.user_org == org_id)
+
+    def users_of_city(self, city_id: int) -> np.ndarray:
+        """Indices of the users located in ``city_id``."""
+        return np.flatnonzero(self.user_city == city_id)
+
+    def describe(self) -> str:
+        """One-line structural summary."""
+        return (
+            f"{self.num_users} users in {self.num_orgs} organizations "
+            f"across {self.num_cities} cities"
+        )
+
+
+def build_user_population(
+    catalog: FacilityCatalog,
+    num_users: int,
+    num_orgs: int,
+    seed=0,
+    num_cities: Optional[int] = None,
+    org_zipf_exponent: float = 1.1,
+    individual_deviation: float = 0.15,
+    city_shared_focus: bool = True,
+    focus_popularity_power: float = 0.5,
+) -> UserPopulation:
+    """Generate a user population for ``catalog``.
+
+    Parameters
+    ----------
+    catalog:
+        The facility whose regions/data types organizations focus on.
+    num_users, num_orgs:
+        Population scale.  Organization sizes follow a Zipf-like law with
+        exponent ``org_zipf_exponent`` (a few large groups, many small ones),
+        matching the heavy-tailed per-user query counts of Fig 3.
+    num_cities:
+        Number of distinct user cities; defaults to ``max(num_orgs // 2, 1)``
+        so that most cities host 1–3 organizations (the paper's same-city
+        signal is driven by institutional co-location).
+    individual_deviation:
+        Probability that a user's personal focus differs from the
+        organization's (resampled uniformly).
+    city_shared_focus:
+        When True (default) every organization in a city shares the city's
+        research focus — institutional co-location correlates with research
+        topic (the mechanism behind the paper's Fig-5 same-city likelihood
+        ratios).  When False each organization draws its own focus.
+    focus_popularity_power:
+        Exponent tempering the popularity weighting of focus draws; 1.0
+        follows object counts, 0.0 is uniform.  Lower values diversify
+        focuses across the population, lowering the random-pair match
+        probability in the Fig-5 study.
+    """
+    if num_orgs <= 0 or num_users <= 0:
+        raise ValueError("num_users and num_orgs must be positive")
+    if num_users < num_orgs:
+        raise ValueError(f"num_users={num_users} must be >= num_orgs={num_orgs}")
+    if not 0.0 <= individual_deviation <= 1.0:
+        raise ValueError(f"individual_deviation must be in [0,1], got {individual_deviation}")
+    rng = ensure_rng(seed)
+    n_cities = num_cities if num_cities is not None else max(num_orgs // 2, 1)
+
+    # Region focus is weighted by (tempered) data-object counts per region
+    # (groups study where the data is); data-type focus likewise.
+    region_weights = _count_weights(
+        catalog.object_region, catalog.num_regions, focus_popularity_power
+    )
+    dtype_weights = _count_weights(
+        catalog.object_dtype, catalog.num_data_types, focus_popularity_power
+    )
+
+    def draw_focus() -> tuple:
+        region = int(rng.choice(catalog.num_regions, p=region_weights))
+        region_sites = np.flatnonzero(catalog.site_region == region)
+        if region_sites.size == 0:
+            region_sites = np.arange(catalog.num_sites)
+        site = int(rng.choice(region_sites))
+        dtype = int(rng.choice(catalog.num_data_types, p=dtype_weights))
+        return region, site, dtype
+
+    city_focus = [draw_focus() for _ in range(n_cities)]
+    city_of_org = rng.integers(0, n_cities, size=num_orgs)
+    organizations: List[Organization] = []
+    ranks = np.arange(1, num_orgs + 1, dtype=np.float64)
+    weights = ranks**-org_zipf_exponent
+    weights /= weights.sum()
+    for org_id in range(num_orgs):
+        city = int(city_of_org[org_id])
+        focus_region, focus_site, focus_dtype = (
+            city_focus[city] if city_shared_focus else draw_focus()
+        )
+        organizations.append(
+            Organization(
+                org_id=org_id,
+                name=f"Org{org_id:03d}",
+                city_id=city,
+                focus_region=focus_region,
+                focus_site=focus_site,
+                focus_dtype=focus_dtype,
+                weight=float(weights[org_id]),
+            )
+        )
+
+    # Assign users: one guaranteed member per org, the rest multinomial by
+    # org weight.
+    extra = rng.multinomial(num_users - num_orgs, weights)
+    user_org = np.repeat(np.arange(num_orgs), 1 + extra)
+    rng.shuffle(user_org)
+
+    org_focus_region = np.array([o.focus_region for o in organizations])
+    org_focus_site = np.array([o.focus_site for o in organizations])
+    org_focus_dtype = np.array([o.focus_dtype for o in organizations])
+    user_focus_region = org_focus_region[user_org].copy()
+    user_focus_site = org_focus_site[user_org].copy()
+    user_focus_dtype = org_focus_dtype[user_org].copy()
+    deviants = rng.random(num_users) < individual_deviation
+    n_dev = int(deviants.sum())
+    if n_dev:
+        dev_regions = rng.choice(catalog.num_regions, size=n_dev, p=region_weights)
+        user_focus_region[deviants] = dev_regions
+        dev_idx = np.flatnonzero(deviants)
+        for di, region in zip(dev_idx, dev_regions):
+            region_sites = np.flatnonzero(catalog.site_region == region)
+            if region_sites.size == 0:
+                region_sites = np.arange(catalog.num_sites)
+            user_focus_site[di] = int(rng.choice(region_sites))
+        user_focus_dtype[deviants] = rng.choice(catalog.num_data_types, size=n_dev, p=dtype_weights)
+
+    city_names = [f"{catalog.name} User City {c}" for c in range(n_cities)]
+    return UserPopulation(
+        organizations,
+        user_org,
+        user_focus_region,
+        user_focus_dtype,
+        city_names,
+        user_focus_site=user_focus_site,
+    )
+
+
+def _count_weights(codes: np.ndarray, num_codes: int, power: float = 1.0) -> np.ndarray:
+    if power < 0:
+        raise ValueError(f"power must be nonnegative, got {power}")
+    counts = np.bincount(codes, minlength=num_codes).astype(np.float64)
+    counts += 1.0  # smooth so empty categories stay possible
+    counts = counts**power
+    return counts / counts.sum()

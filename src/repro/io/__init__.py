@@ -1,0 +1,22 @@
+"""Persistence: save/load traces, interaction datasets, and model weights.
+
+Everything serializes to NumPy ``.npz`` archives — no pickle, so files are
+portable, inspectable, and safe to load from untrusted sources.
+"""
+
+from repro.io.datasets import (
+    load_interactions,
+    load_trace,
+    save_interactions,
+    save_trace,
+)
+from repro.io.checkpoints import load_parameters, save_parameters
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_interactions",
+    "load_interactions",
+    "save_parameters",
+    "load_parameters",
+]

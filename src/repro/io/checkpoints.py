@@ -1,0 +1,70 @@
+"""Model checkpointing: named-parameter save/load as ``.npz``.
+
+Works with any model exposing ``parameters()`` returning
+:class:`~repro.autograd.tensor.Parameter` objects.  Parameters are keyed by
+their ``name`` attribute (falling back to positional keys), so loading
+validates both the parameter set and every shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Parameter
+
+__all__ = ["save_parameters", "load_parameters", "parameter_keys"]
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT = "repro.checkpoint"
+
+
+def parameter_keys(params: List[Parameter]) -> List[str]:
+    """Stable unique keys for a parameter list (name, disambiguated)."""
+    keys: List[str] = []
+    seen: Dict[str, int] = {}
+    for i, p in enumerate(params):
+        base = p.name or f"param{i}"
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        keys.append(base if count == 0 else f"{base}#{count}")
+    return keys
+
+
+def save_parameters(path: PathLike, model) -> None:
+    """Save ``model.parameters()`` to ``path`` as compressed npz."""
+    params = model.parameters()
+    arrays = {f"p.{key}": p.data for key, p in zip(parameter_keys(params), params)}
+    np.savez_compressed(path, format=np.array(_FORMAT), **arrays)
+
+
+def load_parameters(path: PathLike, model) -> None:
+    """Load a checkpoint into ``model`` (in place).
+
+    Raises ``ValueError`` on missing/extra parameters or shape mismatches —
+    a checkpoint only loads into the architecture that produced it.
+    """
+    params = model.parameters()
+    keys = parameter_keys(params)
+    with np.load(path, allow_pickle=False) as data:
+        if "format" not in data or str(data["format"]) != _FORMAT:
+            raise ValueError(f"{path}: not a repro checkpoint")
+        stored = {k[2:] for k in data.files if k.startswith("p.")}
+        expected = set(keys)
+        if stored != expected:
+            missing = expected - stored
+            extra = stored - expected
+            raise ValueError(
+                f"{path}: parameter set mismatch (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        for key, p in zip(keys, params):
+            arr = data[f"p.{key}"]
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"{path}: shape mismatch for {key}: file {arr.shape} vs model {p.data.shape}"
+                )
+            p.data[...] = arr

@@ -1,0 +1,86 @@
+"""NPZ serialization for query traces and interaction datasets.
+
+Facility catalogs are cheap to regenerate from a seed, so only the derived
+artifacts that carry entropy — traces and interaction splits — get I/O.
+Format: plain ``.npz`` with a ``format`` marker and a version field, so
+readers can fail loudly on foreign files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.facility.trace import QueryTrace
+
+__all__ = ["save_trace", "load_trace", "save_interactions", "load_interactions"]
+
+PathLike = Union[str, pathlib.Path]
+
+_TRACE_FORMAT = "repro.trace"
+_INTERACTIONS_FORMAT = "repro.interactions"
+_VERSION = 1
+
+
+def save_trace(path: PathLike, trace: QueryTrace) -> None:
+    """Write a :class:`~repro.facility.trace.QueryTrace` to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        format=np.array(_TRACE_FORMAT),
+        version=np.array(_VERSION),
+        user_ids=trace.user_ids,
+        object_ids=trace.object_ids,
+        timestamps=trace.timestamps,
+        num_users=np.array(trace.num_users),
+        num_objects=np.array(trace.num_objects),
+    )
+
+
+def load_trace(path: PathLike) -> QueryTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, _TRACE_FORMAT, path)
+        return QueryTrace(
+            user_ids=data["user_ids"],
+            object_ids=data["object_ids"],
+            timestamps=data["timestamps"],
+            num_users=int(data["num_users"]),
+            num_objects=int(data["num_objects"]),
+        )
+
+
+def save_interactions(path: PathLike, data: InteractionDataset) -> None:
+    """Write an :class:`~repro.data.interactions.InteractionDataset` (.npz)."""
+    np.savez_compressed(
+        path,
+        format=np.array(_INTERACTIONS_FORMAT),
+        version=np.array(_VERSION),
+        user_ids=data.user_ids,
+        item_ids=data.item_ids,
+        num_users=np.array(data.num_users),
+        num_items=np.array(data.num_items),
+    )
+
+
+def load_interactions(path: PathLike) -> InteractionDataset:
+    """Read interactions written by :func:`save_interactions`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, _INTERACTIONS_FORMAT, path)
+        return InteractionDataset(
+            user_ids=data["user_ids"],
+            item_ids=data["item_ids"],
+            num_users=int(data["num_users"]),
+            num_items=int(data["num_items"]),
+        )
+
+
+def _check_format(data, expected: str, path: PathLike) -> None:
+    if "format" not in data or str(data["format"]) != expected:
+        found = str(data["format"]) if "format" in data else "<missing>"
+        raise ValueError(f"{path}: expected format {expected!r}, found {found!r}")
+    version = int(data["version"]) if "version" in data else -1
+    if version > _VERSION:
+        raise ValueError(f"{path}: file version {version} newer than supported {_VERSION}")

@@ -1,0 +1,180 @@
+"""Cross-facility knowledge-graph consolidation (the paper's future-work note).
+
+Section IV: "Using entity alignment, KGs from multiple facilities can be
+consolidated.  This can potentially enable recommendations across multiple
+facilities.  However, we do not explore this aspect in the paper."  This
+module explores it: a single user population queries several facilities, and
+the per-facility item/attribute spaces are placed in one combined entity
+space with the users as the shared (aligned) entities.  The cross-facility
+signal then flows through users and the user–user graph exactly like the
+single-facility collaborative signal.
+
+The result is an ordinary :class:`~repro.kg.ckg.CollaborativeKnowledgeGraph`
+(items from every facility in one contiguous block), so every model in
+:mod:`repro.models` works on it unchanged — see ``examples/cross_facility.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.facility.catalog import FacilityCatalog
+from repro.facility.users import UserPopulation
+from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.subgraphs import (
+    INTERACT,
+    EntitySpace,
+    KnowledgeSources,
+    build_iag,
+    build_uug,
+    city_names,
+    group_names,
+)
+from repro.kg.triples import TripleStore
+
+__all__ = ["MultiFacilityIndex", "build_cross_facility_ckg"]
+
+
+class MultiFacilityIndex:
+    """Maps (facility index, local item id) ↔ combined item ids.
+
+    Items of facility ``f`` occupy the contiguous combined range
+    ``[item_offsets[f], item_offsets[f+1])``.
+    """
+
+    def __init__(self, catalogs: Sequence[FacilityCatalog]):
+        if not catalogs:
+            raise ValueError("need at least one catalog")
+        self.catalogs = list(catalogs)
+        sizes = [c.num_objects for c in catalogs]
+        self.item_offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.item_offsets[-1])
+
+    @property
+    def num_facilities(self) -> int:
+        return len(self.catalogs)
+
+    def combined_item_ids(self, facility: int, local_items: np.ndarray) -> np.ndarray:
+        """Translate facility-local item ids into the combined item space."""
+        if not 0 <= facility < self.num_facilities:
+            raise ValueError(f"facility {facility} out of range")
+        local = np.asarray(local_items, dtype=np.int64)
+        size = self.catalogs[facility].num_objects
+        if local.size and (local.min() < 0 or local.max() >= size):
+            raise ValueError(f"local item id out of range for facility {facility}")
+        return local + self.item_offsets[facility]
+
+    def facility_of_item(self, combined_items: np.ndarray) -> np.ndarray:
+        """Facility index of each combined item id."""
+        combined = np.asarray(combined_items, dtype=np.int64)
+        return np.searchsorted(self.item_offsets, combined, side="right") - 1
+
+
+def build_cross_facility_ckg(
+    catalogs: Sequence[FacilityCatalog],
+    population: UserPopulation,
+    train_pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    sources: KnowledgeSources = KnowledgeSources.best(),
+    uug_max_neighbors: int = 10,
+    seed=0,
+) -> Tuple[CollaborativeKnowledgeGraph, MultiFacilityIndex]:
+    """Consolidate several facilities into one CKG over a shared user base.
+
+    Parameters
+    ----------
+    catalogs:
+        One catalog per facility.
+    population:
+        The shared user population (users are the aligned entities).
+    train_pairs:
+        Per facility, (user_ids, local_item_ids) training interactions.
+    sources:
+        Knowledge-source toggles applied to every facility's IAG.
+
+    Returns
+    -------
+    (ckg, index):
+        The combined graph and the item-id translation index.
+    """
+    if len(train_pairs) != len(catalogs):
+        raise ValueError(
+            f"got {len(train_pairs)} interaction sets for {len(catalogs)} catalogs"
+        )
+    index = MultiFacilityIndex(catalogs)
+
+    # One combined entity space: users, the merged item block, then each
+    # facility's attribute blocks under facility-prefixed names.
+    space = EntitySpace()
+    space.add_block("user", population.num_users)
+    space.add_block("item", index.num_items)
+    for f, catalog in enumerate(catalogs):
+        prefix = f"f{f}."
+        space.add_block(prefix + "site", catalog.num_sites)
+        space.add_block(prefix + "region", catalog.num_regions)
+        space.add_block(prefix + "class", catalog.num_instrument_classes)
+        space.add_block(prefix + "dtype", catalog.num_data_types)
+        space.add_block(prefix + "discipline", catalog.num_disciplines)
+        space.add_block(prefix + "delivery", len(catalog.delivery_methods))
+        space.add_block(prefix + "group", len(group_names(catalog)))
+        space.add_block(prefix + "level", len(catalog.processing_level_names))
+        space.add_block(prefix + "city", len(city_names(catalog)))
+
+    store = TripleStore(space.num_entities)
+
+    # UIG: every facility's interactions land in the shared item block.
+    for f, (users, items) in enumerate(train_pairs):
+        users = np.asarray(users, dtype=np.int64)
+        combined_items = index.combined_item_ids(f, items)
+        store.add_triples(
+            INTERACT, space.global_ids("user", users), combined_items + space.block("item")[0]
+        )
+
+    # UUG over the shared population.
+    if sources.uug:
+        store.extend(build_uug(space, population, max_neighbors=uug_max_neighbors, seed=seed))
+
+    # Per-facility IAGs, built against a view of the combined space.
+    for f, catalog in enumerate(catalogs):
+        sub = _FacilityView(space, index, f)
+        store.extend(build_iag(sub, catalog, sources))
+
+    store = store.deduplicated()
+    names = "+".join(c.name for c in catalogs)
+    ckg = CollaborativeKnowledgeGraph(
+        space=space,
+        store=store,
+        num_users=population.num_users,
+        num_items=index.num_items,
+        sources=sources,
+        catalog_name=names,
+    )
+    return ckg, index
+
+
+class _FacilityView:
+    """Adapter presenting facility-f blocks under the generic block names.
+
+    :func:`repro.kg.subgraphs.build_iag` addresses blocks as "item", "site",
+    …; this view forwards those to the facility's prefixed blocks and maps
+    local item ids into the shared item block.
+    """
+
+    def __init__(self, space: EntitySpace, index: MultiFacilityIndex, facility: int):
+        self._space = space
+        self._index = index
+        self._facility = facility
+
+    @property
+    def num_entities(self) -> int:
+        return self._space.num_entities
+
+    def global_ids(self, name: str, local_ids: np.ndarray) -> np.ndarray:
+        if name == "item":
+            combined = self._index.combined_item_ids(self._facility, local_ids)
+            return self._space.global_ids("item", combined)
+        return self._space.global_ids(f"f{self._facility}.{name}", local_ids)

@@ -1,0 +1,137 @@
+"""High-order connectivity paths and recommendation explanations.
+
+The paper's Fig. 1 and Section II-C motivate the whole design with
+*connectivity paths*: two data objects relate through chains like
+
+    Object#1 —dataType→ Pressure —dataDiscipline→ Physical
+            ←dataDiscipline— Density ←dataType— Object#2
+
+and CKAT's propagation embeds exactly these paths.  This module makes them
+first-class: :func:`find_paths` enumerates bounded-length relation paths
+between any two entities of a CKG, and :func:`explain_recommendation`
+renders the shortest user→item paths as human-readable strings — the
+"why was this recommended" surface a facility data portal would show.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.adjacency import CSRAdjacency
+from repro.kg.ckg import CollaborativeKnowledgeGraph
+
+__all__ = ["RelationPath", "find_paths", "explain_recommendation", "entity_label"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RelationPath:
+    """One path: entities e0 —r0→ e1 —r1→ … —r(k-1)→ ek."""
+
+    entities: Tuple[int, ...]
+    relations: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.entities) != len(self.relations) + 1:
+            raise ValueError("a path over k relations visits k+1 entities")
+
+    @property
+    def length(self) -> int:
+        return len(self.relations)
+
+    def render(self, ckg: CollaborativeKnowledgeGraph) -> str:
+        """Human-readable rendering using block-aware entity labels."""
+        names = ckg.propagation_store.relations
+        parts = [entity_label(ckg, self.entities[0])]
+        for rel, ent in zip(self.relations, self.entities[1:]):
+            parts.append(f"—{names.name_of(int(rel))}→ {entity_label(ckg, ent)}")
+        return " ".join(parts)
+
+
+def entity_label(ckg: CollaborativeKnowledgeGraph, entity: int) -> str:
+    """Label a global entity id by its block and local index, e.g. ``item#12``."""
+    block = ckg.space.owner_of(int(entity))
+    offset, _ = ckg.space.block(block)
+    return f"{block}#{int(entity) - offset}"
+
+
+def find_paths(
+    ckg: CollaborativeKnowledgeGraph,
+    source: int,
+    target: int,
+    max_length: int = 3,
+    max_paths: int = 10,
+    adjacency: Optional[CSRAdjacency] = None,
+) -> List[RelationPath]:
+    """Enumerate simple paths from ``source`` to ``target`` up to ``max_length``.
+
+    Breadth-first over the inverse-augmented propagation graph (so paths may
+    traverse any edge in either direction, exactly like CKAT messages).
+    Paths are simple (no repeated entity) and returned shortest-first, at
+    most ``max_paths`` of them.
+
+    Complexity is bounded by the branching factor; for explanation use
+    (max_length ≤ 3–4) this is interactive even on the GAGE-scale CKG.
+    """
+    if max_length <= 0:
+        raise ValueError(f"max_length must be positive, got {max_length}")
+    if max_paths <= 0:
+        raise ValueError(f"max_paths must be positive, got {max_paths}")
+    n = ckg.num_entities
+    if not (0 <= source < n and 0 <= target < n):
+        raise ValueError("source/target entity out of range")
+    adj = adjacency if adjacency is not None else CSRAdjacency(ckg.propagation_store)
+    found: List[RelationPath] = []
+    # BFS layer by layer so results come shortest-first.
+    frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [((source,), ())]
+    for _depth in range(max_length):
+        next_frontier: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+        for entities, relations in frontier:
+            head = entities[-1]
+            rels, tails = adj.neighbors_of(int(head))
+            for r, t in zip(rels, tails):
+                if int(t) in entities:
+                    continue  # keep paths simple
+                path_e = entities + (int(t),)
+                path_r = relations + (int(r),)
+                if int(t) == target:
+                    found.append(RelationPath(path_e, path_r))
+                    if len(found) >= max_paths:
+                        return found
+                else:
+                    next_frontier.append((path_e, path_r))
+        # Bound frontier growth: keep a deterministic prefix.  Explanations
+        # need a handful of short paths, not exhaustive enumeration.
+        if len(next_frontier) > 20_000:
+            next_frontier = next_frontier[:20_000]
+        frontier = next_frontier
+    return found
+
+
+def explain_recommendation(
+    ckg: CollaborativeKnowledgeGraph,
+    user: int,
+    item: int,
+    max_length: int = 3,
+    max_paths: int = 5,
+    adjacency: Optional[CSRAdjacency] = None,
+) -> List[str]:
+    """Render the shortest CKG paths connecting ``user`` to ``item``.
+
+    Returns human-readable strings like::
+
+        user#3 —interact→ item#17 —hasDataType→ dtype#4 —inv_hasDataType→ item#52
+
+    An empty list means the pair is not connected within ``max_length`` hops
+    — such a recommendation rests purely on embedding geometry, which is
+    itself useful to surface.
+    """
+    source = int(ckg.user_entity_ids(np.array([user]))[0])
+    target = int(ckg.item_entity_ids(np.array([item]))[0])
+    paths = find_paths(
+        ckg, source, target, max_length=max_length, max_paths=max_paths, adjacency=adjacency
+    )
+    return [p.render(ckg) for p in paths]

@@ -1,0 +1,217 @@
+"""Relation registry and triple store.
+
+Triples are kept in structure-of-arrays form — three parallel int64 arrays
+``heads``, ``rels``, ``tails`` — which is what every consumer (TransR
+training, CKAT propagation, statistics) actually needs; a list of tuple
+objects would be rebuilt into arrays anyway (guides: keep hot data in
+contiguous arrays).
+
+The paper's Section IV notes that the relation set contains both canonical
+relations (``Measure``) and their inverses (``MeasuredBy``);
+:meth:`TripleStore.with_inverses` performs that augmentation, registering an
+``inv_`` relation for each canonical one.  Symmetric relations (``interact``
+between users) can be declared self-inverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RelationRegistry", "TripleStore", "INVERSE_PREFIX"]
+
+INVERSE_PREFIX = "inv_"
+
+
+class RelationRegistry:
+    """Bidirectional mapping between relation names and integer ids."""
+
+    def __init__(self, names: Sequence[str] = ()):
+        self._names: List[str] = []
+        self._ids: Dict[str, int] = {}
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its id."""
+        if name in self._ids:
+            return self._ids[name]
+        rid = len(self._names)
+        self._names.append(name)
+        self._ids[name] = rid
+        return rid
+
+    def id_of(self, name: str) -> int:
+        """Id of a registered relation; KeyError if unknown."""
+        return self._ids[name]
+
+    def name_of(self, rid: int) -> str:
+        """Name of a relation id; IndexError if out of range."""
+        return self._names[rid]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    def canonical_ids(self) -> np.ndarray:
+        """Ids of relations that are not ``inv_*`` augmentations."""
+        return np.array(
+            [i for i, n in enumerate(self._names) if not n.startswith(INVERSE_PREFIX)],
+            dtype=np.int64,
+        )
+
+    def copy(self) -> "RelationRegistry":
+        return RelationRegistry(self._names)
+
+
+class TripleStore:
+    """A set of (head, relation, tail) triples over an integer entity space.
+
+    Parameters
+    ----------
+    num_entities:
+        Size of the entity id space; all head/tail ids must be < this.
+    relations:
+        The shared :class:`RelationRegistry` (mutated when triples with new
+        relation names are added).
+    """
+
+    def __init__(self, num_entities: int, relations: Optional[RelationRegistry] = None):
+        if num_entities < 0:
+            raise ValueError(f"num_entities must be nonnegative, got {num_entities}")
+        self.num_entities = num_entities
+        self.relations = relations if relations is not None else RelationRegistry()
+        self.heads = np.zeros(0, dtype=np.int64)
+        self.rels = np.zeros(0, dtype=np.int64)
+        self.tails = np.zeros(0, dtype=np.int64)
+
+    # ---------------------------------------------------------------- build
+    def add_triples(self, relation: str, heads: np.ndarray, tails: np.ndarray) -> None:
+        """Append triples sharing one relation.
+
+        ``heads`` / ``tails`` are equal-length integer arrays.  Out-of-range
+        entity ids raise immediately (catching id-space mistakes at build
+        time rather than as silent index errors during training).
+        """
+        heads = np.asarray(heads, dtype=np.int64).ravel()
+        tails = np.asarray(tails, dtype=np.int64).ravel()
+        if heads.shape != tails.shape:
+            raise ValueError(f"heads and tails differ in length: {heads.shape} vs {tails.shape}")
+        if heads.size:
+            lo = min(heads.min(), tails.min())
+            hi = max(heads.max(), tails.max())
+            if lo < 0 or hi >= self.num_entities:
+                raise ValueError(
+                    f"entity id out of range [0, {self.num_entities}): min={lo}, max={hi}"
+                )
+        rid = self.relations.add(relation)
+        self.heads = np.concatenate([self.heads, heads])
+        self.rels = np.concatenate([self.rels, np.full(heads.shape, rid, dtype=np.int64)])
+        self.tails = np.concatenate([self.tails, tails])
+
+    def extend(self, other: "TripleStore") -> None:
+        """Append all triples of ``other`` (same entity space required)."""
+        if other.num_entities != self.num_entities:
+            raise ValueError(
+                f"entity spaces differ: {self.num_entities} vs {other.num_entities}"
+            )
+        # Remap other's relation ids through the shared registry by name.
+        remap = np.array(
+            [self.relations.add(other.relations.name_of(r)) for r in range(len(other.relations))],
+            dtype=np.int64,
+        )
+        if len(other):
+            self.heads = np.concatenate([self.heads, other.heads])
+            self.rels = np.concatenate([self.rels, remap[other.rels]])
+            self.tails = np.concatenate([self.tails, other.tails])
+
+    # ------------------------------------------------------------ transform
+    def deduplicated(self) -> "TripleStore":
+        """Return a copy with exact duplicate triples removed."""
+        out = TripleStore(self.num_entities, self.relations.copy())
+        if not len(self):
+            return out
+        keys = (self.heads * len(self.relations) + self.rels) * np.int64(
+            self.num_entities
+        ) + self.tails
+        _, idx = np.unique(keys, return_index=True)
+        idx.sort()
+        out.heads = self.heads[idx].copy()
+        out.rels = self.rels[idx].copy()
+        out.tails = self.tails[idx].copy()
+        return out
+
+    def with_inverses(self, symmetric: Iterable[str] = ()) -> "TripleStore":
+        """Return a copy augmented with inverse triples.
+
+        For each canonical relation ``r`` a relation ``inv_r`` is registered
+        and every triple ``(h, r, t)`` gains ``(t, inv_r, h)``.  Relations
+        named in ``symmetric`` instead gain the reversed triple under the
+        *same* id (e.g. user–user ``interact``).
+        """
+        symmetric = set(symmetric)
+        out = TripleStore(self.num_entities, self.relations.copy())
+        out.heads, out.rels, out.tails = self.heads.copy(), self.rels.copy(), self.tails.copy()
+        extra_h, extra_r, extra_t = [], [], []
+        for rid in range(len(self.relations)):
+            name = self.relations.name_of(rid)
+            if name.startswith(INVERSE_PREFIX):
+                continue
+            mask = self.rels == rid
+            if not mask.any():
+                continue
+            inv_rid = rid if name in symmetric else out.relations.add(INVERSE_PREFIX + name)
+            extra_h.append(self.tails[mask])
+            extra_r.append(np.full(int(mask.sum()), inv_rid, dtype=np.int64))
+            extra_t.append(self.heads[mask])
+        if extra_h:
+            out.heads = np.concatenate([out.heads] + extra_h)
+            out.rels = np.concatenate([out.rels] + extra_r)
+            out.tails = np.concatenate([out.tails] + extra_t)
+        return out.deduplicated()
+
+    def filter_relations(self, keep: Iterable[str]) -> "TripleStore":
+        """Return a copy containing only triples of the named relations."""
+        keep_ids = {self.relations.id_of(n) for n in keep if n in self.relations}
+        mask = np.isin(self.rels, np.array(sorted(keep_ids), dtype=np.int64))
+        out = TripleStore(self.num_entities, self.relations.copy())
+        out.heads = self.heads[mask].copy()
+        out.rels = self.rels[mask].copy()
+        out.tails = self.tails[mask].copy()
+        return out
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self.heads)
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    def triples_of_relation(self, relation: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(heads, tails) arrays for one named relation."""
+        rid = self.relations.id_of(relation)
+        mask = self.rels == rid
+        return self.heads[mask], self.tails[mask]
+
+    def degree(self) -> np.ndarray:
+        """Out-degree (as head) per entity, length ``num_entities``."""
+        return np.bincount(self.heads, minlength=self.num_entities)
+
+    def relation_counts(self) -> Dict[str, int]:
+        """Triple count per relation name."""
+        counts = np.bincount(self.rels, minlength=len(self.relations))
+        return {self.relations.name_of(i): int(counts[i]) for i in range(len(self.relations))}
+
+    def __repr__(self) -> str:
+        return (
+            f"TripleStore({len(self)} triples, {self.num_entities} entities, "
+            f"{self.num_relations} relations)"
+        )

@@ -1,0 +1,219 @@
+"""Shared model interface and the BPR training loop.
+
+Every model implements three hooks:
+
+- ``parameters()`` — trainable :class:`~repro.autograd.tensor.Parameter` list;
+- ``batch_loss(users, pos, neg, rng)`` — the training objective for one
+  minibatch of (user, positive item, negative item) triples;
+- ``score_users(users)`` — dense float scores (B × num_items) for ranking.
+
+:meth:`Recommender.fit` then drives the paper's optimization recipe: Adam,
+batch size 512, epoch-wise BPR batches with fresh negative sampling.  Models
+with auxiliary objectives (TransR/TransE phases in CKE, CFKG, CKAT) override
+``extra_epoch_step`` to run their alternating phase once per epoch, mirroring
+the KGAT training schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.autograd import Adam, Parameter, Tensor
+from repro.autograd import functional as F
+from repro.data.interactions import InteractionDataset
+from repro.data.sampling import BPRSampler
+from repro.utils.rng import ensure_rng
+
+__all__ = ["FitConfig", "FitResult", "Recommender", "batch_l2"]
+
+
+def batch_l2(*tensors: Tensor) -> Tensor:
+    """Sum of squared norms of the given (batch-gathered) tensors.
+
+    The paper's λ‖Θ‖² regularizer is applied per batch to the embeddings the
+    batch touched — standard BPR practice, which regularizes active rows
+    proportionally to how often they are trained.
+    """
+    total = F.squared_norm(tensors[0])
+    for t in tensors[1:]:
+        total = F.add(total, F.squared_norm(t))
+    return total
+
+
+@dataclasses.dataclass
+class FitConfig:
+    """Training hyperparameters (defaults follow Section VI-D)."""
+
+    epochs: int = 40
+    batch_size: int = 512
+    lr: float = 0.01
+    l2: float = 1e-5
+    seed: int = 0
+    verbose: bool = False
+    eval_every: int = 0
+    """If >0 and an evaluator callback is given to fit(), evaluate every
+    this many epochs."""
+    keep_best_metric: str = ""
+    """When set (e.g. ``"recall@20"``) together with ``eval_every`` and an
+    eval callback, parameters are snapshotted at each evaluation and the
+    best-scoring snapshot is restored after the final epoch — the best-epoch
+    selection protocol of the KGAT-family reference implementations."""
+
+    def __post_init__(self):
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.l2 < 0:
+            raise ValueError("l2 must be nonnegative")
+
+
+@dataclasses.dataclass
+class FitResult:
+    """Training record: per-epoch losses and wall-clock time."""
+
+    losses: List[float]
+    extra_losses: List[float]
+    seconds: float
+    eval_history: List[dict]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class Recommender:
+    """Base class for all recommendation models."""
+
+    name: str = "recommender"
+
+    def __init__(self, num_users: int, num_items: int):
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = num_users
+        self.num_items = num_items
+
+    # ------------------------------------------------------------ interface
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters (used to build the optimizer)."""
+        raise NotImplementedError
+
+    def batch_loss(
+        self, users: np.ndarray, pos: np.ndarray, neg: np.ndarray, rng: np.random.Generator
+    ) -> Tensor:
+        """Scalar training loss for one (user, pos, neg) batch."""
+        raise NotImplementedError
+
+    def score_users(self, users: np.ndarray) -> np.ndarray:
+        """Dense prediction scores, shape (len(users), num_items)."""
+        raise NotImplementedError
+
+    def extra_epoch_step(
+        self, optimizer: Adam, rng: np.random.Generator, config: FitConfig
+    ) -> float:
+        """Auxiliary per-epoch training phase (e.g. TransR); returns its loss.
+
+        Default: nothing to do.
+        """
+        return 0.0
+
+    def on_epoch_end(self) -> None:
+        """Hook invoked after each epoch (CKAT refreshes attention here)."""
+
+    # ------------------------------------------------------------- training
+    def fit(
+        self,
+        train: InteractionDataset,
+        config: Optional[FitConfig] = None,
+        eval_callback: Optional[Callable[[], dict]] = None,
+    ) -> FitResult:
+        """Train with epoch-wise BPR minibatches and Adam.
+
+        Parameters
+        ----------
+        train:
+            Training interactions (num_users/num_items must match the model).
+        config:
+            Hyperparameters; defaults to :class:`FitConfig`.
+        eval_callback:
+            Optional callable returning a metrics dict, invoked every
+            ``config.eval_every`` epochs (and recorded in the result).
+        """
+        config = config or FitConfig()
+        if train.num_users != self.num_users or train.num_items != self.num_items:
+            raise ValueError(
+                f"dataset shape ({train.num_users}×{train.num_items}) does not match model "
+                f"({self.num_users}×{self.num_items})"
+            )
+        rng = ensure_rng(config.seed)
+        sampler = BPRSampler(train)
+        params = self.parameters()
+        optimizer = Adam(params, lr=config.lr)
+        losses: List[float] = []
+        extra_losses: List[float] = []
+        eval_history: List[dict] = []
+        best_score = -np.inf
+        best_snapshot: Optional[List[np.ndarray]] = None
+        start = time.perf_counter()
+        for epoch in range(config.epochs):
+            extra = self.extra_epoch_step(optimizer, rng, config)
+            extra_losses.append(extra)
+            epoch_loss, n_batches = 0.0, 0
+            for users, pos, neg in sampler.epoch_batches(config.batch_size, seed=rng):
+                optimizer.zero_grad()
+                loss = self.batch_loss(users, pos, neg, rng)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            losses.append(epoch_loss / max(n_batches, 1))
+            self.on_epoch_end()
+            if config.verbose:
+                msg = f"[{self.name}] epoch {epoch + 1}/{config.epochs} loss={losses[-1]:.4f}"
+                if extra:
+                    msg += f" aux={extra:.4f}"
+                print(msg)
+            if eval_callback is not None and config.eval_every and (epoch + 1) % config.eval_every == 0:
+                metrics = eval_callback()
+                metrics["epoch"] = epoch + 1
+                eval_history.append(metrics)
+                if config.verbose:
+                    print(f"[{self.name}]   eval: {metrics}")
+                if config.keep_best_metric:
+                    score = metrics.get(config.keep_best_metric)
+                    if score is None:
+                        raise KeyError(
+                            f"keep_best_metric {config.keep_best_metric!r} missing from "
+                            f"eval callback result {sorted(metrics)}"
+                        )
+                    if score > best_score:
+                        best_score = score
+                        best_snapshot = [p.data.copy() for p in params]
+        if best_snapshot is not None:
+            for p, data in zip(params, best_snapshot):
+                p.data[...] = data
+            self.on_epoch_end()  # refresh derived state (e.g. CKAT attention)
+        return FitResult(
+            losses=losses,
+            extra_losses=extra_losses,
+            seconds=time.perf_counter() - start,
+            eval_history=eval_history,
+        )
+
+    # ------------------------------------------------------------ inference
+    def recommend(self, user: int, k: int = 20, exclude: Optional[np.ndarray] = None) -> np.ndarray:
+        """Top-``k`` item ids for one user, optionally excluding seen items."""
+        if not 0 <= user < self.num_users:
+            raise ValueError(f"user {user} out of range")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        scores = self.score_users(np.array([user]))[0].astype(np.float64, copy=True)
+        if exclude is not None and len(exclude):
+            scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+        k = min(k, self.num_items)
+        top = np.argpartition(-scores, k - 1)[:k]
+        return top[np.argsort(-scores[top], kind="stable")]

@@ -1,0 +1,26 @@
+"""CKAT: the collaborative knowledge-aware graph attention network.
+
+The paper's primary contribution (Section V).  See
+:mod:`repro.models.ckat.model` for the full model and
+:mod:`repro.models.ckat.layers` for the knowledge-aware attention and the
+concat/sum aggregators.
+"""
+
+from repro.models.ckat.layers import (
+    ConcatAggregator,
+    PropagationLayer,
+    SumAggregator,
+    compute_edge_attention,
+    uniform_edge_weights,
+)
+from repro.models.ckat.model import CKAT, CKATConfig
+
+__all__ = [
+    "CKAT",
+    "CKATConfig",
+    "ConcatAggregator",
+    "SumAggregator",
+    "PropagationLayer",
+    "compute_edge_attention",
+    "uniform_edge_weights",
+]

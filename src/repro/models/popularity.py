@@ -1,0 +1,74 @@
+"""Trivial non-personalized baselines: MostPopular and Random.
+
+Not in the paper's Table II, but indispensable sanity anchors for any
+recommender evaluation: every learned model must beat Random decisively and
+MostPopular clearly; if a learned model only matches MostPopular, the
+personalization signal is not being used.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd import Parameter, Tensor
+from repro.autograd import functional as F
+from repro.data.interactions import InteractionDataset
+from repro.models.base import FitConfig, FitResult, Recommender
+from repro.utils.rng import ensure_rng
+
+__all__ = ["MostPopular", "RandomRecommender"]
+
+
+class MostPopular(Recommender):
+    """Ranks items by global training popularity (same list for everyone)."""
+
+    name = "MostPopular"
+
+    def __init__(self, num_users: int, num_items: int):
+        super().__init__(num_users, num_items)
+        self._scores = np.zeros(num_items, dtype=np.float64)
+        self._fitted = False
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def fit(self, train: InteractionDataset, config: FitConfig = None, eval_callback=None) -> FitResult:
+        """Count item degrees; the 'loss' reported is 0 (nothing optimized)."""
+        if train.num_users != self.num_users or train.num_items != self.num_items:
+            raise ValueError("dataset shape does not match model")
+        self._scores = train.item_degree().astype(np.float64)
+        self._fitted = True
+        return FitResult(losses=[0.0], extra_losses=[0.0], seconds=0.0, eval_history=[])
+
+    def score_users(self, users: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("MostPopular must be fit() before scoring")
+        return np.tile(self._scores, (len(np.asarray(users)), 1))
+
+
+class RandomRecommender(Recommender):
+    """Uniform random scores — the absolute floor for every metric."""
+
+    name = "Random"
+
+    def __init__(self, num_users: int, num_items: int, seed=0):
+        super().__init__(num_users, num_items)
+        self._root_seed = ensure_rng(seed).integers(2**63 - 1)
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    def fit(self, train: InteractionDataset, config: FitConfig = None, eval_callback=None) -> FitResult:
+        """Nothing to learn."""
+        return FitResult(losses=[0.0], extra_losses=[0.0], seconds=0.0, eval_history=[])
+
+    def score_users(self, users: np.ndarray) -> np.ndarray:
+        # Scores are a pure function of (seed, user), so repeated calls rank
+        # identically — evaluation batching cannot change the outcome.
+        users = np.asarray(users, dtype=np.int64)
+        out = np.empty((len(users), self.num_items))
+        for row, u in enumerate(users):
+            out[row] = np.random.default_rng(self._root_seed + int(u)).random(self.num_items)
+        return out

@@ -1,0 +1,82 @@
+"""Map executors: serial and process-pool with a common interface.
+
+Follows the mpi4py-style discipline from the domain guides: workers receive
+picklable chunks, results are gathered in submission order, and the serial
+backend is the reference implementation the parallel one must match.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["MapExecutor", "SerialExecutor", "ProcessExecutor", "chunk_indices"]
+
+
+def chunk_indices(n: int, num_chunks: int) -> List[range]:
+    """Split ``range(n)`` into ``num_chunks`` contiguous, balanced ranges.
+
+    The first ``n % num_chunks`` chunks get one extra element; empty chunks
+    are omitted, so the result may be shorter than ``num_chunks``.
+    """
+    if n < 0 or num_chunks <= 0:
+        raise ValueError("n must be >= 0 and num_chunks > 0")
+    base, extra = divmod(n, num_chunks)
+    out: List[range] = []
+    start = 0
+    for i in range(num_chunks):
+        size = base + (1 if i < extra else 0)
+        if size:
+            out.append(range(start, start + size))
+        start += size
+    return out
+
+
+class MapExecutor:
+    """Interface: ordered map of a function over items."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (no-op for serial)."""
+
+
+class SerialExecutor(MapExecutor):
+    """Reference backend: a plain loop."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessExecutor(MapExecutor):
+    """Process-pool backend (requires picklable ``fn`` and items).
+
+    ``max_workers`` defaults to the available CPU count; on single-core
+    machines this is equivalent to (slightly slower than) the serial
+    backend, but exercises the same code path as multi-core runs.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {workers}")
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self.max_workers = workers
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

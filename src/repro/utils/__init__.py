@@ -1,0 +1,18 @@
+"""Shared utilities: RNG plumbing, timing, text tables, validation helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs, SeedSequenceFactory
+from repro.utils.tables import TextTable, format_float
+from repro.utils.timing import Timer
+from repro.utils.validation import check_positive, check_probability, check_in_choices
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "SeedSequenceFactory",
+    "TextTable",
+    "format_float",
+    "Timer",
+    "check_positive",
+    "check_probability",
+    "check_in_choices",
+]

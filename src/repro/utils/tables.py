@@ -1,0 +1,80 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print tables shaped exactly like the paper's
+(Tables I-V), so a human can diff "paper vs measured" by eye.  No external
+dependencies; monospace alignment only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+__all__ = ["TextTable", "format_float"]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a metric the way the paper prints them (4 decimal places)."""
+    return f"{value:.{digits}f}"
+
+
+class TextTable:
+    """Accumulates rows and renders an aligned monospace table.
+
+    Example
+    -------
+    >>> t = TextTable(["model", "recall@20", "ndcg@20"])
+    >>> t.add_row(["CKAT", 0.3217, 0.2561])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None, float_digits: int = 4):
+        if not headers:
+            raise ValueError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.float_digits = float_digits
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[Cell]) -> None:
+        """Append a row; floats are formatted, None renders as '-'."""
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(cells)}")
+        formatted = []
+        for cell in cells:
+            if cell is None:
+                formatted.append("-")
+            elif isinstance(cell, float):
+                formatted.append(format_float(cell, self.float_digits))
+            else:
+                formatted.append(str(cell))
+        self.rows.append(formatted)
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule between row groups."""
+        self.rows.append(["__SEP__"] * len(self.headers))
+
+    def render(self) -> str:
+        """Return the table as a single printable string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            if row[0] == "__SEP__":
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(rule)
+        for row in self.rows:
+            if row[0] == "__SEP__":
+                lines.append(rule)
+            else:
+                lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

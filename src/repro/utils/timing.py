@@ -1,0 +1,63 @@
+"""Small wall-clock timing helper used by training loops and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating named timer.
+
+    Usage::
+
+        timer = Timer()
+        with timer.section("propagation"):
+            ...
+        timer.total("propagation")  # seconds
+    """
+
+    def __init__(self):
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    class _Section:
+        def __init__(self, timer: "Timer", name: str):
+            self._timer = timer
+            self._name = name
+            self._start: Optional[float] = None
+
+        def __enter__(self):
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            elapsed = time.perf_counter() - self._start
+            self._timer._totals[self._name] = self._timer._totals.get(self._name, 0.0) + elapsed
+            self._timer._counts[self._name] = self._timer._counts.get(self._name, 0) + 1
+            return False
+
+    def section(self, name: str) -> "Timer._Section":
+        """Context manager accumulating into the named bucket."""
+        return Timer._Section(self, name)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Number of times the named section was entered."""
+        return self._counts.get(name, 0)
+
+    def names(self) -> List[str]:
+        """All section names recorded so far."""
+        return list(self._totals)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary sorted by total time."""
+        lines = []
+        for name in sorted(self._totals, key=self._totals.get, reverse=True):
+            lines.append(f"{name}: {self._totals[name]:.3f}s over {self._counts[name]} calls")
+        return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Argument-validation helpers shared across the package.
+
+Centralizing these keeps error messages consistent and the call sites terse.
+All raise :class:`ValueError` with the offending parameter named.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["check_positive", "check_nonnegative", "check_probability", "check_in_choices"]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be nonnegative, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_in_choices(name: str, value: Any, choices: Sequence[Any]) -> Any:
+    """Require ``value`` to be one of ``choices``."""
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {list(choices)}, got {value!r}")
+    return value

@@ -1,0 +1,73 @@
+"""Repo-wide API hygiene tests.
+
+Guards the documentation contract of the public surface: every module has a
+docstring, every ``__all__`` entry resolves to a real attribute with a
+docstring, and the top-level package re-exports what the README promises.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    m.name for m in pkgutil.walk_packages(repro.__path__, "repro.") if "__main__" not in m.name
+)
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, module_name
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_all_entries_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_public_callables_documented(module_name):
+    """Every name a module exports must carry a docstring."""
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if callable(obj) and getattr(obj, "__module__", "").startswith("repro"):
+            assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+class TestTopLevelSurface:
+    def test_readme_promises(self):
+        for name in (
+            "load_dataset",
+            "run_single_model",
+            "CKAT",
+            "CKATConfig",
+            "KnowledgeSources",
+            "RankingEvaluator",
+            "MODEL_NAMES",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_all_subpackages_importable(self):
+        for pkg in (
+            "autograd",
+            "facility",
+            "kg",
+            "data",
+            "models",
+            "eval",
+            "analysis",
+            "experiments",
+            "parallel",
+            "io",
+            "utils",
+        ):
+            importlib.import_module(f"repro.{pkg}")

@@ -1,0 +1,424 @@
+"""Gradient and shape tests for every differentiable op.
+
+Every op is validated against central finite differences; segment ops and
+losses additionally get hand-computed cases and hypothesis properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Parameter, Tensor, functional as F
+from repro.autograd.tensor import astensor
+
+
+def numgrad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        fp = f()
+        x[i] = orig - eps
+        fm = f()
+        x[i] = orig
+        g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+def check_grads(make_loss, params, atol=1e-5):
+    loss = make_loss()
+    for p in params:
+        p.grad = None
+    loss.backward()
+    analytic = [None if p.grad is None else p.grad.copy() for p in params]
+    for k, p in enumerate(params):
+        ng = numgrad(lambda: make_loss().item(), p.data)
+        ag = analytic[k] if analytic[k] is not None else np.zeros_like(p.data)
+        scale = max(np.abs(ng).max(), 1.0)
+        np.testing.assert_allclose(ag, ng, atol=atol * scale, rtol=1e-4)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestArithmeticGrads:
+    def test_add_broadcast(self):
+        a = Parameter(RNG.normal(size=(3, 4)))
+        b = Parameter(RNG.normal(size=(4,)))
+        check_grads(lambda: F.sum(F.mul(F.add(a, b), F.add(a, b))), [a, b])
+
+    def test_sub(self):
+        a = Parameter(RNG.normal(size=(3,)))
+        b = Parameter(RNG.normal(size=(3,)))
+        check_grads(lambda: F.sum(F.mul(F.sub(a, b), F.sub(a, b))), [a, b])
+
+    def test_mul_broadcast_scalar(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        s = Parameter(np.array(1.5))
+        check_grads(lambda: F.sum(F.mul(a, s)), [a, s])
+
+    def test_div(self):
+        a = Parameter(RNG.normal(size=(3,)))
+        b = Parameter(RNG.normal(size=(3,)) + 3.0)
+        check_grads(lambda: F.sum(F.div(a, b)), [a, b])
+
+    def test_neg(self):
+        a = Parameter(RNG.normal(size=(3,)))
+        check_grads(lambda: F.sum(F.neg(a)), [a])
+
+    def test_power(self):
+        a = Parameter(np.abs(RNG.normal(size=(3,))) + 0.5)
+        check_grads(lambda: F.sum(F.power(a, 3.0)), [a])
+
+
+class TestMatmulGrads:
+    def test_2d_2d(self):
+        a = Parameter(RNG.normal(size=(3, 4)))
+        b = Parameter(RNG.normal(size=(4, 2)))
+        c = Tensor(RNG.normal(size=(3, 2)))
+        check_grads(lambda: F.sum(F.mul(F.matmul(a, b), c)), [a, b])
+
+    def test_2d_1d(self):
+        a = Parameter(RNG.normal(size=(3, 4)))
+        v = Parameter(RNG.normal(size=(4,)))
+        c = Tensor(RNG.normal(size=(3,)))
+        check_grads(lambda: F.sum(F.mul(F.matmul(a, v), c)), [a, v])
+
+    def test_1d_2d(self):
+        v = Parameter(RNG.normal(size=(3,)))
+        a = Parameter(RNG.normal(size=(3, 4)))
+        c = Tensor(RNG.normal(size=(4,)))
+        check_grads(lambda: F.sum(F.mul(F.matmul(v, a), c)), [v, a])
+
+    def test_1d_1d(self):
+        u = Parameter(RNG.normal(size=(3,)))
+        v = Parameter(RNG.normal(size=(3,)))
+        check_grads(lambda: F.mul(F.matmul(u, v), astensor(2.0)), [u, v])
+
+    def test_batched(self):
+        a = Parameter(RNG.normal(size=(2, 3, 4)))
+        b = Parameter(RNG.normal(size=(4, 5)))
+        c = Tensor(RNG.normal(size=(2, 3, 5)))
+        check_grads(lambda: F.sum(F.mul(F.matmul(a, b), c)), [a, b])
+
+    def test_batched_vector(self):
+        a = Parameter(RNG.normal(size=(2, 3, 4)))
+        v = Parameter(RNG.normal(size=(4,)))
+        c = Tensor(RNG.normal(size=(2, 3)))
+        check_grads(lambda: F.sum(F.mul(F.matmul(a, v), c)), [a, v])
+
+
+class TestReducersAndShapes:
+    def test_sum_all(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        check_grads(lambda: F.sum(a), [a])
+
+    def test_sum_axis0(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        c = Tensor(RNG.normal(size=(3,)))
+        check_grads(lambda: F.sum(F.mul(F.sum(a, axis=0), c)), [a])
+
+    def test_sum_axis_keepdims(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        c = Tensor(RNG.normal(size=(2, 1)))
+        check_grads(lambda: F.sum(F.mul(F.sum(a, axis=1, keepdims=True), c)), [a])
+
+    def test_sum_negative_axis(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        c = Tensor(RNG.normal(size=(2,)))
+        check_grads(lambda: F.sum(F.mul(F.sum(a, axis=-1), c)), [a])
+
+    def test_mean(self):
+        a = Parameter(RNG.normal(size=(4,)))
+        check_grads(lambda: F.mean(a), [a])
+
+    def test_mean_axis(self):
+        a = Parameter(RNG.normal(size=(2, 4)))
+        c = Tensor(RNG.normal(size=(2,)))
+        check_grads(lambda: F.sum(F.mul(F.mean(a, axis=1), c)), [a])
+
+    def test_reshape(self):
+        a = Parameter(RNG.normal(size=(2, 6)))
+        c = Tensor(RNG.normal(size=(3, 4)))
+        check_grads(lambda: F.sum(F.mul(F.reshape(a, (3, 4)), c)), [a])
+
+    def test_transpose_default(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        c = Tensor(RNG.normal(size=(3, 2)))
+        check_grads(lambda: F.sum(F.mul(F.transpose(a), c)), [a])
+
+    def test_transpose_axes(self):
+        a = Parameter(RNG.normal(size=(2, 3, 4)))
+        c = Tensor(RNG.normal(size=(4, 2, 3)))
+        check_grads(lambda: F.sum(F.mul(F.transpose(a, (2, 0, 1)), c)), [a])
+
+    def test_concat(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        b = Parameter(RNG.normal(size=(2, 2)))
+        c = Tensor(RNG.normal(size=(2, 5)))
+        check_grads(lambda: F.sum(F.mul(F.concat([a, b], axis=1), c)), [a, b])
+
+    def test_concat_axis0(self):
+        a = Parameter(RNG.normal(size=(2, 3)))
+        b = Parameter(RNG.normal(size=(1, 3)))
+        c = Tensor(RNG.normal(size=(3, 3)))
+        check_grads(lambda: F.sum(F.mul(F.concat([a, b], axis=0), c)), [a, b])
+
+    def test_stack(self):
+        a = Parameter(RNG.normal(size=(3,)))
+        b = Parameter(RNG.normal(size=(3,)))
+        c = Tensor(RNG.normal(size=(2, 3)))
+        check_grads(lambda: F.sum(F.mul(F.stack([a, b], axis=0), c)), [a, b])
+
+
+class TestActivationGrads:
+    @pytest.mark.parametrize(
+        "op", ["tanh", "sigmoid", "relu", "leaky_relu", "exp", "log_sigmoid", "softplus", "abs"]
+    )
+    def test_unary(self, op):
+        a = Parameter(RNG.normal(size=(7,)) + 0.1)  # offset avoids relu/abs kinks
+        fn = getattr(F, op)
+        check_grads(lambda: F.sum(fn(a)), [a])
+
+    def test_log(self):
+        a = Parameter(np.abs(RNG.normal(size=(5,))) + 0.5)
+        check_grads(lambda: F.sum(F.log(a)), [a])
+
+    def test_sqrt(self):
+        a = Parameter(np.abs(RNG.normal(size=(5,))) + 0.5)
+        check_grads(lambda: F.sum(F.sqrt(a)), [a])
+
+    def test_clip_interior_gradient(self):
+        a = Parameter(np.array([0.2, -0.8, 1.5]))
+        F.sum(F.clip(a, -1.0, 1.0)).backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0, 0.0])
+
+    def test_leaky_relu_slope(self):
+        a = Parameter(np.array([-2.0, 2.0]))
+        F.sum(F.leaky_relu(a, negative_slope=0.1)).backward()
+        np.testing.assert_allclose(a.grad, [0.1, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        a = Tensor(RNG.normal(size=(4, 6)))
+        out = F.softmax(a, axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4), atol=1e-12)
+
+    def test_softmax_grad(self):
+        a = Parameter(RNG.normal(size=(3, 4)))
+        c = Tensor(RNG.normal(size=(3, 4)))
+        check_grads(lambda: F.sum(F.mul(F.softmax(a, axis=1), c)), [a])
+
+    def test_sigmoid_extreme_stability(self):
+        out = F.sigmoid(Tensor(np.array([-800.0, 800.0])))
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_log_sigmoid_extreme_stability(self):
+        out = F.log_sigmoid(Tensor(np.array([-800.0, 800.0])))
+        assert np.isfinite(out.data).all()
+
+
+class TestGatherScatter:
+    def test_take_rows_forward(self):
+        w = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.take_rows(w, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_take_rows_grad_with_duplicates(self):
+        w = Parameter(RNG.normal(size=(5, 2)))
+        idx = np.array([0, 0, 3])
+        c = Tensor(RNG.normal(size=(3, 2)))
+        check_grads(lambda: F.sum(F.mul(F.take_rows(w, idx), c)), [w])
+
+    def test_embedding_alias(self):
+        w = Parameter(np.arange(6.0).reshape(3, 2))
+        out = F.embedding(w, np.array([1]))
+        np.testing.assert_allclose(out.data, [[2.0, 3.0]])
+
+    def test_take_rows_1d(self):
+        w = Parameter(RNG.normal(size=(6,)))
+        c = Tensor(RNG.normal(size=(3,)))
+        check_grads(lambda: F.sum(F.mul(F.take_rows(w, np.array([5, 5, 1])), c)), [w])
+
+
+class TestSegmentOps:
+    def test_segment_sum_forward(self):
+        v = Tensor(np.arange(8.0).reshape(4, 2))
+        out = F.segment_sum(v, np.array([0, 2, 2, 4]))
+        np.testing.assert_allclose(out.data, [[2.0, 4.0], [0.0, 0.0], [10.0, 12.0]])
+
+    def test_segment_sum_grad(self):
+        v = Parameter(RNG.normal(size=(6, 3)))
+        offsets = np.array([0, 2, 2, 5, 6])
+        c = Tensor(RNG.normal(size=(4, 3)))
+        check_grads(lambda: F.sum(F.mul(F.segment_sum(v, offsets), c)), [v])
+
+    def test_segment_sum_bad_offsets(self):
+        v = Tensor(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            F.segment_sum(v, np.array([0, 2, 3]))  # doesn't end at 4
+        with pytest.raises(ValueError):
+            F.segment_sum(v, np.array([1, 2, 4]))  # doesn't start at 0
+        with pytest.raises(ValueError):
+            F.segment_sum(v, np.array([0, 3, 2, 4]))  # decreasing
+
+    def test_segment_max(self):
+        v = np.array([1.0, 5.0, 2.0, -1.0])
+        out = F.segment_max(v, np.array([0, 2, 2, 4]))
+        np.testing.assert_allclose(out, [5.0, -np.inf, 2.0])
+
+    def test_segment_softmax_sums_to_one_per_segment(self):
+        s = Tensor(RNG.normal(size=(7,)))
+        offsets = np.array([0, 3, 3, 7])
+        out = F.segment_softmax(s, offsets)
+        np.testing.assert_allclose(out.data[:3].sum(), 1.0, atol=1e-12)
+        np.testing.assert_allclose(out.data[3:].sum(), 1.0, atol=1e-12)
+
+    def test_segment_softmax_grad(self):
+        s = Parameter(RNG.normal(size=(6,)))
+        offsets = np.array([0, 2, 2, 5, 6])
+        c = Tensor(RNG.normal(size=(6,)))
+        check_grads(lambda: F.sum(F.mul(F.segment_softmax(s, offsets), c)), [s])
+
+    def test_segment_softmax_requires_1d(self):
+        with pytest.raises(ValueError):
+            F.segment_softmax(Tensor(np.zeros((2, 2))), np.array([0, 2]))
+
+    def test_segment_softmax_stability(self):
+        s = Tensor(np.array([1000.0, 1000.0, -1000.0]))
+        out = F.segment_softmax(s, np.array([0, 3]))
+        assert np.isfinite(out.data).all()
+
+    def test_segment_softmax_singleton_segments(self):
+        s = Tensor(np.array([5.0, -2.0]))
+        out = F.segment_softmax(s, np.array([0, 1, 2]))
+        np.testing.assert_allclose(out.data, [1.0, 1.0])
+
+
+class TestSpmm:
+    def test_spmm_matches_dense(self):
+        import scipy.sparse as sp
+
+        A = sp.random(6, 5, density=0.4, random_state=0, format="csr")
+        x = Parameter(RNG.normal(size=(5, 3)))
+        out = F.spmm(A, x)
+        np.testing.assert_allclose(out.data, A.toarray() @ x.data)
+
+    def test_spmm_grad(self):
+        import scipy.sparse as sp
+
+        A = sp.random(6, 5, density=0.5, random_state=1, format="csr")
+        x = Parameter(RNG.normal(size=(5, 3)))
+        c = Tensor(RNG.normal(size=(6, 3)))
+        check_grads(lambda: F.sum(F.mul(F.spmm(A, x), c)), [x])
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        a = Parameter(np.ones((4, 4)))
+        out = F.dropout(a, 0.5, rng, training=False)
+        assert out is a
+
+    def test_identity_when_p_zero(self, rng):
+        a = Parameter(np.ones((4, 4)))
+        assert F.dropout(a, 0.0, rng) is a
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Parameter(np.ones(2)), 1.0, rng)
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(np.ones((200, 200)))
+        out = F.dropout(Parameter(a.data), 0.3, rng)
+        assert abs(out.data.mean() - 1.0) < 0.02
+
+    def test_grad_masked(self):
+        rng = np.random.default_rng(5)
+        a = Parameter(np.ones(100))
+        out = F.dropout(a, 0.5, rng)
+        F.sum(out).backward()
+        # Gradient is zero exactly where output is zero.
+        np.testing.assert_array_equal(a.grad == 0.0, out.data == 0.0)
+
+
+class TestLosses:
+    def test_bpr_loss_decreases_with_margin(self):
+        pos = Tensor(np.array([3.0]))
+        neg = Tensor(np.array([0.0]))
+        loss_close = F.bpr_loss(Tensor(np.array([0.1])), neg).item()
+        loss_far = F.bpr_loss(pos, neg).item()
+        assert loss_far < loss_close
+
+    def test_bpr_loss_grad(self):
+        p = Parameter(RNG.normal(size=(6,)))
+        n = Parameter(RNG.normal(size=(6,)))
+        check_grads(lambda: F.bpr_loss(p, n), [p, n])
+
+    def test_margin_loss_zero_when_separated(self):
+        pos = Tensor(np.zeros(3))
+        neg = Tensor(np.full(3, 10.0))
+        assert F.margin_ranking_loss(pos, neg, 1.0).item() == 0.0
+
+    def test_margin_loss_hinge_value(self):
+        pos = Tensor(np.array([2.0]))
+        neg = Tensor(np.array([1.0]))
+        np.testing.assert_allclose(F.margin_ranking_loss(pos, neg, 0.5).item(), 1.5)
+
+    def test_margin_loss_grad(self):
+        p = Parameter(RNG.normal(size=(6,)))
+        n = Parameter(RNG.normal(size=(6,)))
+        check_grads(lambda: F.margin_ranking_loss(p, n, 1.0), [p, n])
+
+    def test_squared_norm(self):
+        a = Parameter(np.array([3.0, 4.0]))
+        loss = F.squared_norm(a)
+        assert loss.item() == 25.0
+        loss.backward()
+        np.testing.assert_allclose(a.grad, [6.0, 8.0])
+
+    def test_l2_normalize_unit_rows(self):
+        a = Tensor(RNG.normal(size=(4, 3)) * 5)
+        out = F.l2_normalize(a, axis=1)
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), np.ones(4), atol=1e-6)
+
+    def test_l2_normalize_zero_row_finite(self):
+        a = Tensor(np.zeros((1, 3)))
+        out = F.l2_normalize(a, axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_l2_normalize_grad(self):
+        a = Parameter(RNG.normal(size=(3, 4)))
+        c = Tensor(RNG.normal(size=(3, 4)))
+        check_grads(lambda: F.sum(F.mul(F.l2_normalize(a, axis=1), c)), [a])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    segs=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_segment_sum_matches_bincount(n, segs, seed):
+    """Property: segment_sum equals a per-segment loop for random offsets."""
+    rng = np.random.default_rng(seed)
+    cuts = np.sort(rng.integers(0, n + 1, size=segs - 1)) if segs > 1 else np.array([], dtype=int)
+    offsets = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    v = Tensor(rng.normal(size=(n, 2)))
+    out = F.segment_sum(v, offsets).data
+    for s in range(len(offsets) - 1):
+        np.testing.assert_allclose(out[s], v.data[offsets[s] : offsets[s + 1]].sum(axis=0), atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_softmax_invariant_to_shift(seed):
+    """Property: softmax(x + c) == softmax(x)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 5))
+    a = F.softmax(Tensor(x), axis=1).data
+    b = F.softmax(Tensor(x + 123.4), axis=1).data
+    np.testing.assert_allclose(a, b, atol=1e-10)

@@ -1,0 +1,66 @@
+"""Tests for the public gradcheck utility."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import GradcheckError, Parameter, Tensor, functional as F, gradcheck
+from repro.autograd.gradcheck import numerical_gradient
+
+
+class TestGradcheck:
+    def test_passes_on_correct_gradients(self):
+        rng = np.random.default_rng(0)
+        w = Parameter(rng.normal(size=(3, 4)))
+        c = Tensor(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda: F.sum(F.mul(F.tanh(w), c)), [w])
+
+    def test_fails_on_broken_gradient(self):
+        # Sabotage: a "loss" whose analytic gradient we corrupt by detaching.
+        rng = np.random.default_rng(1)
+        w = Parameter(rng.normal(size=(4,)))
+
+        def broken_loss():
+            # detach() cuts the tape: analytic grad is zero, numeric is not.
+            return F.sum(F.mul(w.detach(), w.detach()))
+
+        # With a detached loss, backward() cannot even be called (no grad).
+        with pytest.raises((GradcheckError, RuntimeError)):
+            gradcheck(broken_loss, [w])
+
+    def test_nonscalar_loss_rejected(self):
+        w = Parameter(np.ones(3))
+        with pytest.raises(ValueError):
+            gradcheck(lambda: F.mul(w, w), [w])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            gradcheck(lambda: None, [])
+
+    def test_numerical_gradient_quadratic(self):
+        w = Parameter(np.array([3.0, -2.0]))
+        num = numerical_gradient(lambda: F.sum(F.mul(w, w)), w)
+        np.testing.assert_allclose(num, 2.0 * w.data, atol=1e-5)
+
+    def test_detects_wrong_scale(self):
+        """An op with a deliberately mis-scaled backward must be caught."""
+        rng = np.random.default_rng(2)
+        w = Parameter(rng.normal(size=(3,)))
+
+        def bad_double(t):
+            # Forward doubles; backward lies (factor 3 instead of 2).
+            return Tensor(
+                t.data * 2.0,
+                requires_grad=True,
+                _parents=(t,),
+                _backward=lambda g: t.accumulate_grad(g * 3.0, owned=True),
+            )
+
+        with pytest.raises(GradcheckError):
+            gradcheck(lambda: F.sum(bad_double(w)), [w])
+
+    def test_unused_parameter_passes(self):
+        """A parameter the loss ignores has zero gradient both ways."""
+        rng = np.random.default_rng(3)
+        w = Parameter(rng.normal(size=(3,)))
+        unused = Parameter(rng.normal(size=(2,)))
+        assert gradcheck(lambda: F.sum(F.mul(w, w)), [w, unused])

@@ -1,0 +1,65 @@
+"""Initializer tests: fan computation and distribution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.init import fan_in_out, normal_init, xavier_normal, xavier_uniform
+
+
+class TestFanInOut:
+    def test_2d(self):
+        assert fan_in_out((10, 20)) == (10, 20)
+
+    def test_1d(self):
+        assert fan_in_out((7,)) == (7, 7)
+
+    def test_0d(self):
+        assert fan_in_out(()) == (1, 1)
+
+    def test_4d_conv_like(self):
+        fan_in, fan_out = fan_in_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+
+class TestXavierUniform:
+    def test_bound(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+
+    def test_mean_near_zero(self):
+        rng = np.random.default_rng(1)
+        w = xavier_uniform((200, 200), rng)
+        assert abs(w.mean()) < 0.005
+
+    def test_gain_scales(self):
+        rng = np.random.default_rng(2)
+        w1 = xavier_uniform((50, 50), np.random.default_rng(2))
+        w2 = xavier_uniform((50, 50), np.random.default_rng(2), gain=2.0)
+        np.testing.assert_allclose(w2, 2.0 * w1)
+
+    def test_deterministic_given_rng(self):
+        a = xavier_uniform((5, 5), np.random.default_rng(7))
+        b = xavier_uniform((5, 5), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavierNormal:
+    def test_std(self):
+        rng = np.random.default_rng(3)
+        w = xavier_normal((300, 300), rng)
+        expected = np.sqrt(2.0 / 600)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_shape(self):
+        rng = np.random.default_rng(4)
+        assert xavier_normal((3, 4, 5), rng).shape == (3, 4, 5)
+
+
+class TestNormalInit:
+    def test_std_parameter(self):
+        rng = np.random.default_rng(5)
+        w = normal_init((500, 100), rng, std=0.02)
+        assert abs(w.std() - 0.02) / 0.02 < 0.05

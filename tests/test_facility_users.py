@@ -1,0 +1,107 @@
+"""User-population tests: org structure, focus inheritance, city sharing."""
+
+import numpy as np
+import pytest
+
+from repro.facility.users import Organization, UserPopulation, build_user_population
+
+
+class TestBuildUserPopulation:
+    def test_counts(self, ooi_catalog):
+        pop = build_user_population(ooi_catalog, num_users=50, num_orgs=10, seed=0)
+        assert pop.num_users == 50
+        assert pop.num_orgs == 10
+
+    def test_every_org_has_member(self, ooi_catalog):
+        pop = build_user_population(ooi_catalog, num_users=40, num_orgs=10, seed=0)
+        assert len(np.unique(pop.user_org)) == 10
+
+    def test_user_city_inherited_from_org(self, ooi_catalog):
+        pop = build_user_population(ooi_catalog, num_users=40, num_orgs=10, seed=0)
+        org_city = np.array([o.city_id for o in pop.organizations])
+        np.testing.assert_array_equal(pop.user_city, org_city[pop.user_org])
+
+    def test_focus_site_in_focus_region(self, ooi_catalog):
+        pop = build_user_population(ooi_catalog, num_users=60, num_orgs=12, seed=1)
+        for org in pop.organizations:
+            assert ooi_catalog.site_region[org.focus_site] == org.focus_region
+
+    def test_user_focus_site_consistent_with_region(self, ooi_catalog):
+        pop = build_user_population(ooi_catalog, num_users=60, num_orgs=12, seed=1)
+        np.testing.assert_array_equal(
+            ooi_catalog.site_region[pop.user_focus_site], pop.user_focus_region
+        )
+
+    def test_city_shared_focus(self, ooi_catalog):
+        pop = build_user_population(
+            ooi_catalog, num_users=40, num_orgs=20, num_cities=5, seed=2, city_shared_focus=True
+        )
+        by_city = {}
+        for org in pop.organizations:
+            key = (org.focus_region, org.focus_site, org.focus_dtype)
+            by_city.setdefault(org.city_id, set()).add(key)
+        assert all(len(v) == 1 for v in by_city.values())
+
+    def test_org_private_focus(self, ooi_catalog):
+        pop = build_user_population(
+            ooi_catalog, num_users=80, num_orgs=40, num_cities=2, seed=2, city_shared_focus=False
+        )
+        focuses = {(o.focus_region, o.focus_site, o.focus_dtype) for o in pop.organizations}
+        assert len(focuses) > 2  # more distinct focuses than cities
+
+    def test_zero_deviation_matches_org(self, ooi_catalog):
+        pop = build_user_population(
+            ooi_catalog, num_users=50, num_orgs=10, seed=3, individual_deviation=0.0
+        )
+        org_region = np.array([o.focus_region for o in pop.organizations])
+        np.testing.assert_array_equal(pop.user_focus_region, org_region[pop.user_org])
+
+    def test_full_deviation_diverges(self, ooi_catalog):
+        pop = build_user_population(
+            ooi_catalog, num_users=200, num_orgs=5, seed=3, individual_deviation=1.0
+        )
+        org_region = np.array([o.focus_region for o in pop.organizations])
+        assert (pop.user_focus_region != org_region[pop.user_org]).any()
+
+    def test_deterministic(self, ooi_catalog):
+        a = build_user_population(ooi_catalog, num_users=30, num_orgs=6, seed=9)
+        b = build_user_population(ooi_catalog, num_users=30, num_orgs=6, seed=9)
+        np.testing.assert_array_equal(a.user_org, b.user_org)
+        np.testing.assert_array_equal(a.user_focus_dtype, b.user_focus_dtype)
+
+    def test_validation(self, ooi_catalog):
+        with pytest.raises(ValueError):
+            build_user_population(ooi_catalog, num_users=0, num_orgs=1)
+        with pytest.raises(ValueError):
+            build_user_population(ooi_catalog, num_users=5, num_orgs=10)
+        with pytest.raises(ValueError):
+            build_user_population(ooi_catalog, num_users=10, num_orgs=2, individual_deviation=2.0)
+
+    def test_zipf_sizes_skewed(self, ooi_catalog):
+        pop = build_user_population(ooi_catalog, num_users=500, num_orgs=20, seed=4)
+        sizes = np.bincount(pop.user_org, minlength=20)
+        assert sizes.max() > 3 * np.median(sizes)
+
+
+class TestUserPopulationAccessors:
+    def test_users_of_org(self, ooi_population):
+        users = ooi_population.users_of_org(0)
+        assert (ooi_population.user_org[users] == 0).all()
+
+    def test_users_of_city(self, ooi_population):
+        users = ooi_population.users_of_city(0)
+        assert (ooi_population.user_city[users] == 0).all()
+
+    def test_describe(self, ooi_population):
+        text = ooi_population.describe()
+        assert "60 users" in text and "12 organizations" in text
+
+    def test_mismatched_arrays_rejected(self):
+        orgs = [Organization(0, "O", 0, 0, 0, 0, 1.0)]
+        with pytest.raises(ValueError):
+            UserPopulation(orgs, np.zeros(3, dtype=int), np.zeros(2, dtype=int), np.zeros(3, dtype=int), ["c"])
+
+    def test_unknown_org_rejected(self):
+        orgs = [Organization(0, "O", 0, 0, 0, 0, 1.0)]
+        with pytest.raises(ValueError):
+            UserPopulation(orgs, np.array([5]), np.array([0]), np.array([0]), ["c"])

@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CKAT,
+    CKATConfig,
+    KnowledgeSources,
+    RankingEvaluator,
+    load_dataset,
+)
+from repro.models import BPRMF
+from repro.models.base import FitConfig
+
+
+class TestEndToEnd:
+    def test_training_beats_untrained(self):
+        """The core sanity check: a trained CKAT ranks held-out queries
+        better than its untrained self."""
+        ds = load_dataset("ooi", scale="small", seed=1)
+        ckg = ds.build_ckg(KnowledgeSources.best())
+        ev = RankingEvaluator(ds.split.train, ds.split.test, k=10)
+        cfg = CKATConfig(dim=16, relation_dim=16, layer_dims=(16,), kg_steps_per_epoch=3)
+        model = CKAT(ds.split.train.num_users, ds.split.train.num_items, ckg, cfg, seed=0)
+        before = ev.evaluate(model.score_users).recall
+        model.fit(ds.split.train, FitConfig(epochs=12, batch_size=256, lr=0.01, seed=0))
+        after = ev.evaluate(model.score_users).recall
+        assert after > before
+
+    def test_knowledge_graph_helps_vs_bprmf(self):
+        """On affinity-structured data, CKAT with the CKG should beat plain
+        matrix factorization at equal (small) budgets most of the time; we
+        assert a weak form — CKAT is at least competitive (≥ 90% of BPRMF) —
+        to keep the test stable at tiny scale."""
+        ds = load_dataset("ooi", scale="small", seed=2)
+        ckg = ds.build_ckg(KnowledgeSources.best())
+        ev = RankingEvaluator(ds.split.train, ds.split.test, k=10)
+        M, N = ds.split.train.num_users, ds.split.train.num_items
+        bprmf = BPRMF(M, N, dim=16, seed=0)
+        bprmf.fit(ds.split.train, FitConfig(epochs=12, batch_size=256, lr=0.01, seed=0))
+        ckat = CKAT(
+            M, N, ckg, CKATConfig(dim=16, relation_dim=16, layer_dims=(16, 8), kg_steps_per_epoch=3), seed=0
+        )
+        ckat.fit(ds.split.train, FitConfig(epochs=12, batch_size=256, lr=0.01, seed=0))
+        r_bprmf = ev.evaluate(bprmf.score_users).recall
+        r_ckat = ev.evaluate(ckat.score_users).recall
+        assert r_ckat >= 0.9 * r_bprmf
+
+    def test_full_reproducibility_of_pipeline(self):
+        """Same seed → same dataset → same trained scores, end to end."""
+        outs = []
+        for _ in range(2):
+            ds = load_dataset("ooi", scale="small", seed=4)
+            ckg = ds.build_ckg(KnowledgeSources.best())
+            model = CKAT(
+                ds.split.train.num_users,
+                ds.split.train.num_items,
+                ckg,
+                CKATConfig(dim=8, relation_dim=8, layer_dims=(8,), kg_steps_per_epoch=2),
+                seed=0,
+            )
+            model.fit(ds.split.train, FitConfig(epochs=3, batch_size=256, seed=0))
+            outs.append(model.score_users(np.array([0, 1]))[0])
+        np.testing.assert_allclose(outs[0], outs[1])
+
+    def test_table3_source_monotonicity_weak(self):
+        """More (relevant) knowledge should not catastrophically hurt: the
+        full CKG run lands within a generous band of the UIG-only run at
+        small scale (the full Table III shape is asserted by the bench at
+        full scale)."""
+        from repro.experiments.runner import run_single_model
+        from repro.models import CKATConfig as C
+
+        ds = load_dataset("ooi", scale="small", seed=5)
+        cfg = C(dim=16, relation_dim=16, layer_dims=(16,), kg_steps_per_epoch=2)
+        bare = run_single_model(
+            "CKAT",
+            ds,
+            epochs=6,
+            ckat_config=cfg,
+            sources=KnowledgeSources(uug=False, loc=False, dkg=False, md=False),
+            best_epoch_selection=False,
+        )
+        full = run_single_model(
+            "CKAT",
+            ds,
+            epochs=6,
+            ckat_config=cfg,
+            sources=KnowledgeSources.best(),
+            best_epoch_selection=False,
+        )
+        assert full.recall >= 0.5 * bare.recall
+
+    def test_recommendations_are_plausible(self):
+        """Recommended items should over-represent the user's focus region
+        relative to the catalog at large."""
+        ds = load_dataset("ooi", scale="small", seed=6)
+        ckg = ds.build_ckg(KnowledgeSources.best())
+        model = CKAT(
+            ds.split.train.num_users,
+            ds.split.train.num_items,
+            ckg,
+            CKATConfig(dim=16, relation_dim=16, layer_dims=(16,), kg_steps_per_epoch=3),
+            seed=0,
+        )
+        model.fit(ds.split.train, FitConfig(epochs=15, batch_size=256, lr=0.01, seed=0))
+        heavy_users = np.argsort(-ds.split.train.user_degree())[:10]
+        hits, total = 0, 0
+        for u in heavy_users:
+            focus = ds.population.user_focus_region[u]
+            recs = model.recommend(int(u), k=10, exclude=ds.split.train.items_of_user(int(u)))
+            hits += int((ds.catalog.object_region[recs] == focus).sum())
+            total += len(recs)
+        baseline = np.bincount(ds.catalog.object_region).max() / ds.catalog.num_objects
+        assert hits / total > baseline

@@ -1,0 +1,111 @@
+"""Persistence tests: traces, interactions, model checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_interactions,
+    load_parameters,
+    load_trace,
+    save_interactions,
+    save_parameters,
+    save_trace,
+)
+from repro.io.checkpoints import parameter_keys
+from repro.models import BPRMF
+
+
+class TestTraceIO:
+    def test_roundtrip(self, ooi_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(path, ooi_trace)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.user_ids, ooi_trace.user_ids)
+        np.testing.assert_array_equal(loaded.object_ids, ooi_trace.object_ids)
+        np.testing.assert_array_equal(loaded.timestamps, ooi_trace.timestamps)
+        assert loaded.num_users == ooi_trace.num_users
+        assert loaded.num_objects == ooi_trace.num_objects
+
+    def test_wrong_format_rejected(self, ooi_interactions, tmp_path):
+        path = tmp_path / "x.npz"
+        save_interactions(path, ooi_interactions)
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestInteractionIO:
+    def test_roundtrip(self, ooi_interactions, tmp_path):
+        path = tmp_path / "inter.npz"
+        save_interactions(path, ooi_interactions)
+        loaded = load_interactions(path)
+        np.testing.assert_array_equal(loaded.user_ids, ooi_interactions.user_ids)
+        np.testing.assert_array_equal(loaded.item_ids, ooi_interactions.item_ids)
+        assert loaded.num_items == ooi_interactions.num_items
+
+    def test_wrong_format_rejected(self, ooi_trace, tmp_path):
+        path = tmp_path / "y.npz"
+        save_trace(path, ooi_trace)
+        with pytest.raises(ValueError, match="format"):
+            load_interactions(path)
+
+
+class TestCheckpointIO:
+    def test_roundtrip_restores_exactly(self, tmp_path):
+        model = BPRMF(10, 20, dim=8, seed=0)
+        original = [p.data.copy() for p in model.parameters()]
+        path = tmp_path / "model.npz"
+        save_parameters(path, model)
+        for p in model.parameters():
+            p.data += 1.0
+        load_parameters(path, model)
+        for p, orig in zip(model.parameters(), original):
+            np.testing.assert_array_equal(p.data, orig)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        small = BPRMF(10, 20, dim=8, seed=0)
+        big = BPRMF(10, 20, dim=16, seed=0)
+        path = tmp_path / "m.npz"
+        save_parameters(path, small)
+        with pytest.raises(ValueError, match="shape"):
+            load_parameters(path, big)
+
+    def test_parameter_set_mismatch_rejected(self, tmp_path, ooi_ckg_best, ooi_split):
+        from repro.models import CKE
+
+        bprmf = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=8, seed=0)
+        cke = CKE(ooi_split.train.num_users, ooi_split.train.num_items, ooi_ckg_best, dim=8, seed=0)
+        path = tmp_path / "m.npz"
+        save_parameters(path, bprmf)
+        with pytest.raises(ValueError, match="mismatch"):
+            load_parameters(path, cke)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "nope.npz"
+        np.savez(path, a=np.zeros(2))
+        with pytest.raises(ValueError, match="checkpoint"):
+            load_parameters(path, BPRMF(3, 3, dim=2))
+
+    def test_parameter_keys_unique(self):
+        from repro.autograd import Parameter
+
+        params = [Parameter(np.zeros(1), name="w"), Parameter(np.zeros(1), name="w")]
+        keys = parameter_keys(params)
+        assert len(set(keys)) == 2
+
+    def test_scoring_identical_after_reload(self, tmp_path, ooi_split):
+        from repro.models.base import FitConfig
+
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=8, seed=0)
+        model.fit(ooi_split.train, FitConfig(epochs=2, batch_size=256, seed=0))
+        before = model.score_users(np.array([0, 1]))
+        path = tmp_path / "trained.npz"
+        save_parameters(path, model)
+        fresh = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=8, seed=99)
+        load_parameters(path, fresh)
+        np.testing.assert_allclose(fresh.score_users(np.array([0, 1])), before)

@@ -1,0 +1,106 @@
+"""CSR adjacency and neighbor-sampling tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.adjacency import CSRAdjacency, sample_fixed_neighbors
+from repro.kg.triples import TripleStore
+
+
+def make_store(heads, rels, tails, n=10):
+    store = TripleStore(num_entities=n)
+    # Insert grouped per relation id to use the public API.
+    rels = np.asarray(rels)
+    for rid in np.unique(rels):
+        mask = rels == rid
+        store.add_triples(f"r{rid}", np.asarray(heads)[mask], np.asarray(tails)[mask])
+    return store
+
+
+class TestCSRAdjacency:
+    def test_sorted_by_head(self):
+        adj = CSRAdjacency(make_store([3, 1, 1, 0], [0, 0, 1, 1], [4, 5, 6, 7]))
+        assert (np.diff(adj.heads) >= 0).all()
+
+    def test_offsets_delimit_segments(self):
+        adj = CSRAdjacency(make_store([3, 1, 1, 0], [0, 0, 1, 1], [4, 5, 6, 7]))
+        assert adj.offsets[0] == 0
+        assert adj.offsets[-1] == adj.num_edges
+        for h in range(adj.num_entities):
+            seg = adj.heads[adj.offsets[h] : adj.offsets[h + 1]]
+            assert (seg == h).all()
+
+    def test_neighbors_of(self):
+        adj = CSRAdjacency(make_store([1, 1], [0, 1], [5, 6]))
+        rels, tails = adj.neighbors_of(1)
+        assert set(tails.tolist()) == {5, 6}
+
+    def test_neighbors_of_isolated(self):
+        adj = CSRAdjacency(make_store([1], [0], [5]))
+        rels, tails = adj.neighbors_of(7)
+        assert len(rels) == len(tails) == 0
+
+    def test_degree(self):
+        adj = CSRAdjacency(make_store([0, 0, 2], [0, 0, 0], [1, 2, 3]))
+        np.testing.assert_array_equal(adj.degree()[:3], [2, 0, 1])
+
+    def test_relation_edge_groups_cover_all(self):
+        adj = CSRAdjacency(make_store([3, 1, 1, 0], [0, 0, 1, 1], [4, 5, 6, 7]))
+        order, bounds = adj.relation_edge_groups()
+        assert len(order) == adj.num_edges
+        assert bounds[-1] == adj.num_edges
+        for r in range(adj.num_relations):
+            idx = order[bounds[r] : bounds[r + 1]]
+            assert (adj.rels[idx] == r).all()
+
+    def test_stable_edge_order(self):
+        store = make_store([0, 0], [0, 0], [5, 3])
+        a = CSRAdjacency(store)
+        b = CSRAdjacency(store)
+        np.testing.assert_array_equal(a.tails, b.tails)
+
+
+class TestSampleFixedNeighbors:
+    def test_shapes(self, ooi_ckg):
+        ents, rels = sample_fixed_neighbors(ooi_ckg.propagation_store, k=4, seed=0)
+        assert ents.shape == (ooi_ckg.num_entities, 4)
+        assert rels.shape == (ooi_ckg.num_entities, 4)
+
+    def test_neighbors_are_true_neighbors(self):
+        store = make_store([0, 0, 1], [0, 0, 0], [2, 3, 4], n=5)
+        ents, rels = sample_fixed_neighbors(store, k=6, seed=1)
+        assert set(ents[0].tolist()) <= {2, 3}
+        assert set(ents[1].tolist()) == {4}
+
+    def test_isolated_entities_self_loop(self):
+        store = make_store([0], [0], [1], n=4)
+        ents, rels = sample_fixed_neighbors(store, k=3, seed=0)
+        np.testing.assert_array_equal(ents[3], [3, 3, 3])
+        np.testing.assert_array_equal(rels[3], [0, 0, 0])
+
+    def test_deterministic(self, ooi_ckg):
+        a, _ = sample_fixed_neighbors(ooi_ckg.propagation_store, k=4, seed=5)
+        b, _ = sample_fixed_neighbors(ooi_ckg.propagation_store, k=4, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_k(self, ooi_ckg):
+        with pytest.raises(ValueError):
+            sample_fixed_neighbors(ooi_ckg.propagation_store, k=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_edges=st.integers(1, 40))
+def test_csr_roundtrip_property(seed, n_edges):
+    """Property: CSR layout preserves the multiset of triples."""
+    rng = np.random.default_rng(seed)
+    n = 12
+    heads = rng.integers(0, n, n_edges)
+    rels = rng.integers(0, 3, n_edges)
+    tails = rng.integers(0, n, n_edges)
+    store = make_store(heads, rels, tails, n=n)
+    adj = CSRAdjacency(store)
+    orig = sorted(zip(store.heads.tolist(), store.rels.tolist(), store.tails.tolist()))
+    got = sorted(zip(adj.heads.tolist(), adj.rels.tolist(), adj.tails.tolist()))
+    assert orig == got

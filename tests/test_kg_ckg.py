@@ -1,0 +1,94 @@
+"""CKG construction and statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeSources, build_ckg, compute_stats
+from repro.kg.stats import PAPER_TABLE1, render_table1
+from repro.kg.subgraphs import INTERACT
+
+
+class TestBuildCKG:
+    def test_entity_space_covers_all(self, ooi_ckg):
+        assert ooi_ckg.store.heads.max() < ooi_ckg.num_entities
+        assert ooi_ckg.store.tails.max() < ooi_ckg.num_entities
+
+    def test_relation_count_matches_paper_ooi(self, ooi_ckg):
+        # 8 canonical KG relations for the OOI-like facility (Table I).
+        assert ooi_ckg.num_relations == 8
+
+    def test_interaction_pairs_roundtrip(self, ooi_ckg, ooi_split):
+        users, items = ooi_ckg.interaction_pairs()
+        expected = set(
+            zip(ooi_split.train.user_ids.tolist(), ooi_split.train.item_ids.tolist())
+        )
+        got = set(zip(users.tolist(), items.tolist()))
+        assert got == expected
+
+    def test_test_split_not_in_graph(self, ooi_ckg, ooi_split):
+        users, items = ooi_ckg.interaction_pairs()
+        graph_pairs = set(zip(users.tolist(), items.tolist()))
+        test_pairs = set(zip(ooi_split.test.user_ids.tolist(), ooi_split.test.item_ids.tolist()))
+        assert not (graph_pairs & test_pairs)
+
+    def test_propagation_store_has_inverses(self, ooi_ckg):
+        assert len(ooi_ckg.propagation_store) == 2 * len(ooi_ckg.store)
+
+    def test_interact_symmetric_in_propagation(self, ooi_ckg):
+        h, t = ooi_ckg.propagation_store.triples_of_relation(INTERACT)
+        pairs = set(zip(h.tolist(), t.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_sources_control_graph(self, ooi_catalog, ooi_population, ooi_split):
+        bare = build_ckg(
+            ooi_catalog,
+            ooi_population,
+            ooi_split.train.user_ids,
+            ooi_split.train.item_ids,
+            sources=KnowledgeSources(uug=False, loc=False, dkg=False, md=False),
+        )
+        full = build_ckg(
+            ooi_catalog,
+            ooi_population,
+            ooi_split.train.user_ids,
+            ooi_split.train.item_ids,
+            sources=KnowledgeSources.all_sources(),
+        )
+        assert len(bare.store) < len(full.store)
+        assert bare.num_entities == full.num_entities  # stable id space
+
+    def test_user_item_entity_helpers(self, ooi_ckg):
+        u = ooi_ckg.user_entity_ids(np.array([0]))
+        v = ooi_ckg.item_entity_ids(np.array([0]))
+        assert u[0] != v[0]
+        assert len(ooi_ckg.all_user_entities()) == ooi_ckg.num_users
+        assert len(ooi_ckg.all_item_entities()) == ooi_ckg.num_items
+
+    def test_describe(self, ooi_ckg):
+        text = ooi_ckg.describe()
+        assert "entities" in text and "triples" in text
+
+
+class TestCKGStats:
+    def test_counts_consistent(self, ooi_ckg):
+        stats = compute_stats(ooi_ckg)
+        assert stats.entities == ooi_ckg.num_entities
+        assert stats.relationships == 8
+        assert stats.kg_triples + stats.interaction_triples == stats.total_triples
+
+    def test_link_avg_positive(self, ooi_ckg):
+        stats = compute_stats(ooi_ckg)
+        assert stats.link_avg > 0
+
+    def test_per_relation_sums(self, ooi_ckg):
+        stats = compute_stats(ooi_ckg)
+        assert sum(stats.per_relation.values()) == stats.total_triples
+
+    def test_row_format(self, ooi_ckg):
+        row = compute_stats(ooi_ckg).row()
+        assert len(row) == 4
+
+    def test_render_table1(self, ooi_ckg):
+        text = render_table1(compute_stats(ooi_ckg), compute_stats(ooi_ckg))
+        assert "Table I" in text
+        assert str(PAPER_TABLE1["OOI"]["entities"]) in text

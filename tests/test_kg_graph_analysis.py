@@ -1,0 +1,89 @@
+"""Graph-analysis tests: networkx export, connectivity, hop reachability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.kg.graph_analysis import (
+    connectivity_summary,
+    hop_reachability,
+    item_distance_histogram,
+    to_networkx,
+)
+
+
+class TestToNetworkx:
+    def test_node_and_edge_counts(self, ooi_ckg):
+        g = to_networkx(ooi_ckg)
+        assert g.number_of_nodes() == ooi_ckg.num_entities
+        assert g.number_of_edges() == len(ooi_ckg.store)
+
+    def test_inverse_export_doubles_edges(self, ooi_ckg):
+        g = to_networkx(ooi_ckg, use_inverses=True)
+        assert g.number_of_edges() == len(ooi_ckg.propagation_store)
+
+    def test_node_blocks_annotated(self, ooi_ckg):
+        g = to_networkx(ooi_ckg)
+        user0 = int(ooi_ckg.all_user_entities()[0])
+        item0 = int(ooi_ckg.all_item_entities()[0])
+        assert g.nodes[user0]["block"] == "user"
+        assert g.nodes[item0]["block"] == "item"
+
+    def test_edge_relations_annotated(self, ooi_ckg):
+        g = to_networkx(ooi_ckg)
+        some_edge = next(iter(g.edges(data=True)))
+        assert "relation" in some_edge[2]
+        names = set(ooi_ckg.store.relations.names)
+        assert some_edge[2]["relation"] in names
+
+
+class TestConnectivitySummary:
+    def test_keys_and_consistency(self, ooi_ckg):
+        s = connectivity_summary(ooi_ckg)
+        assert s["num_nodes"] == ooi_ckg.num_entities
+        assert s["num_components"] >= 1
+        assert 0.0 < s["giant_component_fraction"] <= 1.0
+        assert s["mean_degree"] > 0
+
+    def test_ckg_is_mostly_one_component(self, ooi_ckg):
+        """Entity alignment should weld the subgraphs into one giant
+        component — otherwise propagation cannot carry collaborative signal."""
+        s = connectivity_summary(ooi_ckg)
+        assert s["giant_component_fraction"] > 0.9
+
+
+class TestHopReachability:
+    def test_monotone_in_hops(self, ooi_ckg):
+        r = hop_reachability(ooi_ckg, max_hops=3, sample=10, seed=0)
+        assert r[1] <= r[2] <= r[3]
+
+    def test_high_order_reaches_much_more(self, ooi_ckg):
+        """The paper's core premise: 1-hop sees a user's own history, 3 hops
+        see most of the catalog."""
+        r = hop_reachability(ooi_ckg, max_hops=3, sample=10, seed=0)
+        assert r[3] > 2 * r[1]
+        assert r[3] > 0.5
+
+    def test_specific_users(self, ooi_ckg):
+        r = hop_reachability(ooi_ckg, users=[0, 1], max_hops=2)
+        assert set(r) == {1, 2}
+
+    def test_validation(self, ooi_ckg):
+        with pytest.raises(ValueError):
+            hop_reachability(ooi_ckg, max_hops=0)
+
+
+class TestItemDistances:
+    def test_histogram_keys(self, ooi_ckg):
+        h = item_distance_histogram(ooi_ckg, num_pairs=30, seed=0)
+        assert {"mean_distance", "median_distance", "fraction_beyond_2_hops"} <= set(h)
+
+    def test_some_items_beyond_first_order(self, ooi_ckg):
+        """Section II-C: related objects may be far apart — a nonzero share
+        of item pairs sits beyond 2 hops."""
+        h = item_distance_histogram(ooi_ckg, num_pairs=100, seed=0)
+        assert h["mean_distance"] >= 2.0
+
+    def test_validation(self, ooi_ckg):
+        with pytest.raises(ValueError):
+            item_distance_histogram(ooi_ckg, num_pairs=0)

@@ -1,0 +1,109 @@
+"""Cross-facility CKG consolidation tests (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.facility.users import build_user_population
+from repro.kg import KnowledgeSources, MultiFacilityIndex, build_cross_facility_ckg
+from repro.kg.subgraphs import INTERACT
+
+
+@pytest.fixture(scope="module")
+def shared_population(ooi_catalog):
+    # Users focused via the OOI catalog; the focus indices are only used for
+    # trace generation, so any catalog works for a shared population.
+    return build_user_population(ooi_catalog, num_users=40, num_orgs=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cross_ckg(ooi_catalog, gage_catalog, shared_population):
+    rng = np.random.default_rng(0)
+    pairs = []
+    for catalog in (ooi_catalog, gage_catalog):
+        users = rng.integers(0, shared_population.num_users, 150)
+        items = rng.integers(0, catalog.num_objects, 150)
+        pairs.append((users, items))
+    return build_cross_facility_ckg(
+        [ooi_catalog, gage_catalog],
+        shared_population,
+        pairs,
+        sources=KnowledgeSources.best(),
+        seed=0,
+    )
+
+
+class TestMultiFacilityIndex:
+    def test_item_count(self, ooi_catalog, gage_catalog):
+        idx = MultiFacilityIndex([ooi_catalog, gage_catalog])
+        assert idx.num_items == ooi_catalog.num_objects + gage_catalog.num_objects
+
+    def test_combined_ids_disjoint(self, ooi_catalog, gage_catalog):
+        idx = MultiFacilityIndex([ooi_catalog, gage_catalog])
+        a = idx.combined_item_ids(0, np.arange(ooi_catalog.num_objects))
+        b = idx.combined_item_ids(1, np.arange(gage_catalog.num_objects))
+        assert not (set(a.tolist()) & set(b.tolist()))
+
+    def test_facility_of_item_roundtrip(self, ooi_catalog, gage_catalog):
+        idx = MultiFacilityIndex([ooi_catalog, gage_catalog])
+        combined = idx.combined_item_ids(1, np.array([0, 5]))
+        np.testing.assert_array_equal(idx.facility_of_item(combined), [1, 1])
+        combined0 = idx.combined_item_ids(0, np.array([0]))
+        np.testing.assert_array_equal(idx.facility_of_item(combined0), [0])
+
+    def test_out_of_range_rejected(self, ooi_catalog, gage_catalog):
+        idx = MultiFacilityIndex([ooi_catalog, gage_catalog])
+        with pytest.raises(ValueError):
+            idx.combined_item_ids(0, np.array([ooi_catalog.num_objects]))
+        with pytest.raises(ValueError):
+            idx.combined_item_ids(5, np.array([0]))
+
+    def test_empty_catalogs_rejected(self):
+        with pytest.raises(ValueError):
+            MultiFacilityIndex([])
+
+
+class TestCrossFacilityCKG:
+    def test_combined_sizes(self, cross_ckg, ooi_catalog, gage_catalog, shared_population):
+        ckg, idx = cross_ckg
+        assert ckg.num_users == shared_population.num_users
+        assert ckg.num_items == idx.num_items
+
+    def test_relations_from_both_facilities(self, cross_ckg):
+        ckg, _ = cross_ckg
+        names = set(ckg.store.relation_counts())
+        assert "memberOfArray" in names  # OOI-like LOC
+        assert "cityInState" in names  # GAGE-like LOC
+
+    def test_interactions_cover_both_facilities(self, cross_ckg):
+        ckg, idx = cross_ckg
+        users, items = ckg.interaction_pairs()
+        facilities = idx.facility_of_item(items)
+        assert set(facilities.tolist()) == {0, 1}
+
+    def test_pair_count_mismatch_rejected(self, ooi_catalog, gage_catalog, shared_population):
+        with pytest.raises(ValueError):
+            build_cross_facility_ckg(
+                [ooi_catalog, gage_catalog],
+                shared_population,
+                [(np.array([0]), np.array([0]))],  # only one set
+            )
+
+    def test_models_train_on_cross_ckg(self, cross_ckg, shared_population):
+        from repro.data import InteractionDataset
+        from repro.models import CKAT, CKATConfig
+        from repro.models.base import FitConfig
+
+        ckg, idx = cross_ckg
+        users, items = ckg.interaction_pairs()
+        data = InteractionDataset(users, items, ckg.num_users, ckg.num_items)
+        model = CKAT(
+            ckg.num_users,
+            ckg.num_items,
+            ckg,
+            CKATConfig(dim=8, relation_dim=8, layer_dims=(8,), kg_steps_per_epoch=2),
+            seed=0,
+        )
+        result = model.fit(data, FitConfig(epochs=2, batch_size=128, seed=0))
+        assert np.isfinite(result.losses).all()
+        recs = model.recommend(0, k=10)
+        assert len(recs) == 10

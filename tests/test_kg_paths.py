@@ -1,0 +1,102 @@
+"""Path-finding and recommendation-explanation tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg.adjacency import CSRAdjacency
+from repro.kg.paths import RelationPath, entity_label, explain_recommendation, find_paths
+
+
+class TestRelationPath:
+    def test_length(self):
+        p = RelationPath((1, 2, 3), (0, 1))
+        assert p.length == 2
+
+    def test_arity_validated(self):
+        with pytest.raises(ValueError):
+            RelationPath((1, 2), (0, 1))
+
+    def test_render(self, ooi_ckg):
+        users = ooi_ckg.all_user_entities()
+        items = ooi_ckg.all_item_entities()
+        rid = ooi_ckg.propagation_store.relations.id_of("interact")
+        p = RelationPath((int(users[0]), int(items[0])), (rid,))
+        text = p.render(ooi_ckg)
+        assert "user#0" in text and "item#0" in text and "interact" in text
+
+
+class TestEntityLabel:
+    def test_blocks(self, ooi_ckg):
+        assert entity_label(ooi_ckg, int(ooi_ckg.all_user_entities()[0])) == "user#0"
+        assert entity_label(ooi_ckg, int(ooi_ckg.all_item_entities()[2])) == "item#2"
+
+
+class TestFindPaths:
+    def test_direct_interaction_found(self, ooi_ckg, ooi_split):
+        u = int(ooi_split.train.user_ids[0])
+        v = int(ooi_split.train.item_ids[0])
+        src = int(ooi_ckg.user_entity_ids(np.array([u]))[0])
+        dst = int(ooi_ckg.item_entity_ids(np.array([v]))[0])
+        paths = find_paths(ooi_ckg, src, dst, max_length=1)
+        assert paths
+        assert paths[0].length == 1
+
+    def test_paths_are_valid_edges(self, ooi_ckg, ooi_split):
+        adj = CSRAdjacency(ooi_ckg.propagation_store)
+        u = int(ooi_split.train.user_ids[0])
+        v = int(ooi_split.train.item_ids[5])
+        src = int(ooi_ckg.user_entity_ids(np.array([u]))[0])
+        dst = int(ooi_ckg.item_entity_ids(np.array([v]))[0])
+        for path in find_paths(ooi_ckg, src, dst, max_length=3, max_paths=5, adjacency=adj):
+            for i, rel in enumerate(path.relations):
+                h, t = path.entities[i], path.entities[i + 1]
+                rels, tails = adj.neighbors_of(h)
+                assert any(int(r) == rel and int(tt) == t for r, tt in zip(rels, tails))
+
+    def test_paths_shortest_first(self, ooi_ckg, ooi_split):
+        u = int(ooi_split.train.user_ids[0])
+        v = int(ooi_split.train.item_ids[0])
+        src = int(ooi_ckg.user_entity_ids(np.array([u]))[0])
+        dst = int(ooi_ckg.item_entity_ids(np.array([v]))[0])
+        paths = find_paths(ooi_ckg, src, dst, max_length=3, max_paths=10)
+        lengths = [p.length for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_simple_paths_only(self, ooi_ckg, ooi_split):
+        src = int(ooi_ckg.all_user_entities()[0])
+        dst = int(ooi_ckg.all_item_entities()[0])
+        for path in find_paths(ooi_ckg, src, dst, max_length=3, max_paths=10):
+            assert len(set(path.entities)) == len(path.entities)
+
+    def test_max_paths_respected(self, ooi_ckg):
+        src = int(ooi_ckg.all_user_entities()[0])
+        dst = int(ooi_ckg.all_item_entities()[0])
+        paths = find_paths(ooi_ckg, src, dst, max_length=3, max_paths=2)
+        assert len(paths) <= 2
+
+    def test_validation(self, ooi_ckg):
+        with pytest.raises(ValueError):
+            find_paths(ooi_ckg, 0, 1, max_length=0)
+        with pytest.raises(ValueError):
+            find_paths(ooi_ckg, 0, ooi_ckg.num_entities + 5)
+
+
+class TestExplainRecommendation:
+    def test_explains_known_interaction(self, ooi_ckg, ooi_split):
+        u = int(ooi_split.train.user_ids[0])
+        v = int(ooi_split.train.item_ids[0])
+        lines = explain_recommendation(ooi_ckg, u, v, max_length=2)
+        assert lines
+        assert lines[0].startswith(f"user#{u}")
+        assert f"item#{v}" in lines[0]
+
+    def test_high_order_explanation_exists(self, ooi_ckg, ooi_split):
+        """An item the user never touched should still connect via ≤3 hops
+        (shared attributes / co-queried items) for most pairs."""
+        u = int(ooi_split.train.active_users()[0])
+        seen = set(ooi_split.train.items_of_user(u).tolist())
+        unseen = [v for v in range(ooi_ckg.num_items) if v not in seen][:10]
+        connected = sum(
+            1 for v in unseen if explain_recommendation(ooi_ckg, u, int(v), max_length=3, max_paths=1)
+        )
+        assert connected >= 5

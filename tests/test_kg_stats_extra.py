@@ -1,0 +1,84 @@
+"""Additional CKG statistics tests across knowledge-source variants."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeSources, build_ckg, compute_stats
+
+
+@pytest.fixture(scope="module")
+def ckg_variants(ooi_catalog, ooi_population, ooi_split):
+    def build(sources):
+        return build_ckg(
+            ooi_catalog,
+            ooi_population,
+            ooi_split.train.user_ids,
+            ooi_split.train.item_ids,
+            sources=sources,
+            seed=1,
+        )
+
+    return {
+        "uig": build(KnowledgeSources(uug=False, loc=False, dkg=False, md=False)),
+        "loc": build(KnowledgeSources(uug=False, loc=True, dkg=False, md=False)),
+        "best": build(KnowledgeSources.best()),
+        "all": build(KnowledgeSources.all_sources()),
+    }
+
+
+class TestStatsAcrossVariants:
+    def test_kg_triples_grow_with_sources(self, ckg_variants):
+        s = {k: compute_stats(v) for k, v in ckg_variants.items()}
+        assert s["uig"].kg_triples == 0
+        assert s["loc"].kg_triples > 0
+        assert s["best"].kg_triples > s["loc"].kg_triples
+        assert s["all"].kg_triples > s["best"].kg_triples
+
+    def test_interactions_constant_across_sources(self, ckg_variants):
+        uig = compute_stats(ckg_variants["uig"]).interaction_triples
+        # UIG-only has no UUG links; variants with UUG add user-user
+        # interactions on top of the same user-item count.
+        best = compute_stats(ckg_variants["best"]).interaction_triples
+        assert best >= uig
+
+    def test_entity_space_constant(self, ckg_variants):
+        sizes = {compute_stats(v).entities for v in ckg_variants.values()}
+        assert len(sizes) == 1  # stable id space across source combinations
+
+    def test_link_avg_increases_with_knowledge(self, ckg_variants):
+        s_loc = compute_stats(ckg_variants["loc"])
+        s_all = compute_stats(ckg_variants["all"])
+        assert s_all.link_avg > s_loc.link_avg
+
+    def test_md_relations_only_in_all(self, ckg_variants):
+        best = compute_stats(ckg_variants["best"]).per_relation
+        full = compute_stats(ckg_variants["all"]).per_relation
+        assert "inGroup" not in best or best.get("inGroup", 0) == 0
+        assert full.get("inGroup", 0) > 0
+
+
+class TestUUGContribution:
+    def test_uug_adds_user_user_edges(self, ooi_catalog, ooi_population, ooi_split):
+        no_uug = build_ckg(
+            ooi_catalog,
+            ooi_population,
+            ooi_split.train.user_ids,
+            ooi_split.train.item_ids,
+            sources=KnowledgeSources(uug=False, loc=False, dkg=False, md=False),
+            seed=1,
+        )
+        with_uug = build_ckg(
+            ooi_catalog,
+            ooi_population,
+            ooi_split.train.user_ids,
+            ooi_split.train.item_ids,
+            sources=KnowledgeSources(uug=True, loc=False, dkg=False, md=False),
+            seed=1,
+        )
+        delta = len(with_uug.store) - len(no_uug.store)
+        assert delta > 0
+        # The extra edges connect users to users.
+        user_off, user_size = with_uug.space.block("user")
+        heads, tails = with_uug.store.triples_of_relation("interact")
+        uu = ((heads < user_off + user_size) & (tails < user_off + user_size)).sum()
+        assert uu == delta

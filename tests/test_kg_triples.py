@@ -1,0 +1,136 @@
+"""TripleStore and RelationRegistry tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg.triples import INVERSE_PREFIX, RelationRegistry, TripleStore
+
+
+class TestRelationRegistry:
+    def test_add_idempotent(self):
+        reg = RelationRegistry()
+        assert reg.add("a") == reg.add("a") == 0
+
+    def test_id_name_roundtrip(self):
+        reg = RelationRegistry(["x", "y"])
+        assert reg.name_of(reg.id_of("y")) == "y"
+
+    def test_contains(self):
+        reg = RelationRegistry(["x"])
+        assert "x" in reg and "z" not in reg
+
+    def test_len(self):
+        assert len(RelationRegistry(["a", "b"])) == 2
+
+    def test_canonical_ids_excludes_inverses(self):
+        reg = RelationRegistry(["a", INVERSE_PREFIX + "a", "b"])
+        np.testing.assert_array_equal(reg.canonical_ids(), [0, 2])
+
+    def test_copy_independent(self):
+        reg = RelationRegistry(["a"])
+        cp = reg.copy()
+        cp.add("b")
+        assert "b" not in reg
+
+
+def small_store():
+    store = TripleStore(num_entities=6)
+    store.add_triples("likes", np.array([0, 1]), np.array([3, 4]))
+    store.add_triples("near", np.array([3]), np.array([5]))
+    return store
+
+
+class TestTripleStore:
+    def test_len_and_counts(self):
+        store = small_store()
+        assert len(store) == 3
+        assert store.relation_counts() == {"likes": 2, "near": 1}
+
+    def test_out_of_range_rejected(self):
+        store = TripleStore(num_entities=3)
+        with pytest.raises(ValueError):
+            store.add_triples("r", np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            store.add_triples("r", np.array([-1]), np.array([0]))
+
+    def test_length_mismatch_rejected(self):
+        store = TripleStore(num_entities=3)
+        with pytest.raises(ValueError):
+            store.add_triples("r", np.array([0, 1]), np.array([0]))
+
+    def test_negative_entities_count_rejected(self):
+        with pytest.raises(ValueError):
+            TripleStore(num_entities=-1)
+
+    def test_triples_of_relation(self):
+        store = small_store()
+        h, t = store.triples_of_relation("likes")
+        np.testing.assert_array_equal(h, [0, 1])
+        np.testing.assert_array_equal(t, [3, 4])
+
+    def test_degree(self):
+        store = small_store()
+        np.testing.assert_array_equal(store.degree(), [1, 1, 0, 1, 0, 0])
+
+    def test_deduplicated(self):
+        store = TripleStore(num_entities=3)
+        store.add_triples("r", np.array([0, 0, 1]), np.array([1, 1, 2]))
+        dd = store.deduplicated()
+        assert len(dd) == 2
+
+    def test_dedup_keeps_distinct_relations(self):
+        store = TripleStore(num_entities=3)
+        store.add_triples("r1", np.array([0]), np.array([1]))
+        store.add_triples("r2", np.array([0]), np.array([1]))
+        assert len(store.deduplicated()) == 2
+
+    def test_with_inverses_adds_reverse(self):
+        store = small_store()
+        aug = store.with_inverses()
+        assert len(aug) == 6
+        h, t = aug.triples_of_relation(INVERSE_PREFIX + "likes")
+        np.testing.assert_array_equal(np.sort(h), [3, 4])
+
+    def test_with_inverses_symmetric_relation(self):
+        store = TripleStore(num_entities=4)
+        store.add_triples("interact", np.array([0]), np.array([1]))
+        aug = store.with_inverses(symmetric=("interact",))
+        assert aug.num_relations == 1
+        h, t = aug.triples_of_relation("interact")
+        assert len(h) == 2  # both directions, same relation id
+
+    def test_with_inverses_idempotent_on_inverse_relations(self):
+        store = small_store()
+        aug = store.with_inverses()
+        again = aug.with_inverses()
+        assert len(again) == len(aug)
+
+    def test_filter_relations(self):
+        store = small_store()
+        only = store.filter_relations(["near"])
+        assert len(only) == 1
+        assert only.relation_counts()["near"] == 1
+        assert only.relation_counts().get("likes", 0) == 0
+
+    def test_filter_unknown_relation_ok(self):
+        store = small_store()
+        assert len(store.filter_relations(["nonexistent"])) == 0
+
+    def test_extend_merges_by_name(self):
+        a = TripleStore(num_entities=4)
+        a.add_triples("r", np.array([0]), np.array([1]))
+        b = TripleStore(num_entities=4)
+        b.add_triples("s", np.array([2]), np.array([3]))
+        b.add_triples("r", np.array([1]), np.array([2]))
+        a.extend(b)
+        assert len(a) == 3
+        assert a.relation_counts() == {"r": 2, "s": 1}
+
+    def test_extend_mismatched_entities_rejected(self):
+        a = TripleStore(num_entities=4)
+        b = TripleStore(num_entities=5)
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+    def test_repr(self):
+        assert "3 triples" in repr(small_store())

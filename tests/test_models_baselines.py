@@ -1,0 +1,272 @@
+"""Baseline model tests: construction, training signal, scoring, recommend.
+
+Every model gets the same battery: loss decreases over epochs on the small
+OOI dataset, scores have the right shape, recommend() respects exclusions,
+and training is deterministic at fixed seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BPRMF,
+    CFKG,
+    CKE,
+    FM,
+    KGCN,
+    NFM,
+    ItemFeatureTable,
+    RippleNet,
+)
+from repro.models.base import FitConfig, Recommender, batch_l2
+
+
+@pytest.fixture(scope="module")
+def feats(ooi_ckg_best):
+    return ItemFeatureTable(ooi_ckg_best)
+
+
+def model_factories(split, ckg, feats):
+    M, N = split.train.num_users, split.train.num_items
+    return {
+        "BPRMF": lambda: BPRMF(M, N, dim=16, seed=0),
+        "FM": lambda: FM(M, N, feats, dim=16, seed=0),
+        "NFM": lambda: NFM(M, N, feats, dim=16, hidden_dim=16, seed=0),
+        "CKE": lambda: CKE(M, N, ckg, dim=16, kg_steps_per_epoch=3, seed=0),
+        "CFKG": lambda: CFKG(M, N, ckg, dim=16, kg_steps_per_epoch=3, seed=0),
+        "RippleNet": lambda: RippleNet(M, N, ckg, split.train, dim=8, n_memory=8, seed=0),
+        "KGCN": lambda: KGCN(M, N, ckg, dim=16, neighbor_size=4, seed=0),
+    }
+
+
+ALL_BASELINES = ["BPRMF", "FM", "NFM", "CKE", "CFKG", "RippleNet", "KGCN"]
+
+
+@pytest.fixture(scope="module")
+def trained(ooi_split, ooi_ckg_best, feats):
+    """Train each baseline briefly, once per test session."""
+    out = {}
+    for name, make in model_factories(ooi_split, ooi_ckg_best, feats).items():
+        model = make()
+        result = model.fit(ooi_split.train, FitConfig(epochs=4, batch_size=256, lr=0.01, seed=0))
+        out[name] = (model, result)
+    return out
+
+
+@pytest.mark.parametrize("name", ALL_BASELINES)
+class TestBaselineBattery:
+    def test_loss_decreases(self, trained, name):
+        _, result = trained[name]
+        assert result.losses[-1] < result.losses[0]
+
+    def test_losses_finite(self, trained, name):
+        _, result = trained[name]
+        assert np.isfinite(result.losses).all()
+
+    def test_score_shape(self, trained, name, ooi_split):
+        model, _ = trained[name]
+        scores = model.score_users(np.array([0, 3, 5]))
+        assert scores.shape == (3, ooi_split.train.num_items)
+        assert np.isfinite(scores).all()
+
+    def test_recommend_topk(self, trained, name, ooi_split):
+        model, _ = trained[name]
+        recs = model.recommend(0, k=5)
+        assert len(recs) == 5
+        assert len(set(recs.tolist())) == 5
+
+    def test_recommend_exclusion(self, trained, name, ooi_split):
+        model, _ = trained[name]
+        seen = ooi_split.train.items_of_user(0)
+        recs = model.recommend(0, k=5, exclude=seen)
+        assert not set(recs.tolist()) & set(seen.tolist())
+
+    def test_recommend_sorted_by_score(self, trained, name):
+        model, _ = trained[name]
+        recs = model.recommend(1, k=5)
+        scores = model.score_users(np.array([1]))[0][recs]
+        assert (np.diff(scores) <= 1e-12).all()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["BPRMF", "FM", "CFKG"])
+    def test_same_seed_same_model(self, ooi_split, ooi_ckg_best, feats, name):
+        results = []
+        for _ in range(2):
+            model = model_factories(ooi_split, ooi_ckg_best, feats)[name]()
+            model.fit(ooi_split.train, FitConfig(epochs=2, batch_size=256, seed=7))
+            results.append(model.score_users(np.array([0]))[0])
+        np.testing.assert_allclose(results[0], results[1])
+
+
+class TestRecommenderBase:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BPRMF(0, 5)
+        with pytest.raises(ValueError):
+            BPRMF(5, 5, dim=0)
+
+    def test_fit_shape_mismatch(self, ooi_split):
+        model = BPRMF(3, 3, dim=4)
+        with pytest.raises(ValueError):
+            model.fit(ooi_split.train)
+
+    def test_recommend_bad_user(self, ooi_split):
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=4)
+        with pytest.raises(ValueError):
+            model.recommend(-1)
+        with pytest.raises(ValueError):
+            model.recommend(0, k=0)
+
+    def test_fit_config_validation(self):
+        with pytest.raises(ValueError):
+            FitConfig(epochs=0)
+        with pytest.raises(ValueError):
+            FitConfig(lr=-1)
+        with pytest.raises(ValueError):
+            FitConfig(l2=-0.1)
+
+    def test_batch_l2(self):
+        from repro.autograd import Parameter
+
+        a = Parameter(np.array([3.0]))
+        b = Parameter(np.array([4.0]))
+        assert batch_l2(a, b).item() == 25.0
+
+    def test_eval_callback_invoked(self, ooi_split):
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=4, seed=0)
+        calls = []
+        result = model.fit(
+            ooi_split.train,
+            FitConfig(epochs=4, batch_size=256, eval_every=2, seed=0),
+            eval_callback=lambda: calls.append(1) or {"metric": 1.0},
+        )
+        assert len(calls) == 2
+        assert len(result.eval_history) == 2
+        assert result.eval_history[0]["epoch"] == 2
+
+
+class TestItemFeatureTable:
+    def test_attrs_nonempty_for_all_items(self, feats):
+        lengths = np.diff(feats.offsets)
+        assert (lengths > 0).all()
+
+    def test_attrs_exclude_interactions(self, feats, ooi_ckg_best):
+        user_off, user_size = ooi_ckg_best.space.block("user")
+        for item in range(0, feats.num_items, 13):
+            attrs = feats.attrs_of(item)
+            assert not ((attrs >= user_off) & (attrs < user_off + user_size)).any()
+
+    def test_batch_attrs_matches_single(self, feats):
+        items = np.array([0, 2, 2, 5])
+        flat, seg = feats.batch_attrs(items)
+        for i, item in enumerate(items):
+            np.testing.assert_array_equal(flat[seg[i] : seg[i + 1]], feats.attrs_of(int(item)))
+
+    def test_max_attrs(self, feats):
+        assert feats.max_attrs() == int(np.diff(feats.offsets).max())
+
+
+class TestFMStructure:
+    def test_fm_score_matches_pair_scores(self, ooi_split, feats):
+        """Vectorized full scoring equals the differentiable pair scorer."""
+        model = FM(ooi_split.train.num_users, ooi_split.train.num_items, feats, dim=8, seed=1)
+        users = np.array([0, 1, 2])
+        items = np.array([4, 7, 9])
+        pair = model._pair_scores(users, items).data
+        full = model.score_users(users)
+        np.testing.assert_allclose(full[np.arange(3), items], pair, rtol=1e-10)
+
+    def test_nfm_score_matches_pair_scores(self, ooi_split, feats):
+        model = NFM(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            feats,
+            dim=8,
+            hidden_dim=8,
+            dropout=0.0,
+            seed=1,
+        )
+        users = np.array([0, 1])
+        items = np.array([3, 8])
+        pair = model._pair_scores(users, items, training=False).data
+        full = model.score_users(users)
+        np.testing.assert_allclose(full[np.arange(2), items], pair, rtol=1e-8)
+
+
+class TestCFKGStructure:
+    def test_scores_are_negative_distances(self, ooi_split, ooi_ckg_best):
+        model = CFKG(ooi_split.train.num_users, ooi_split.train.num_items, ooi_ckg_best, dim=8, seed=0)
+        users = np.array([0])
+        full = model.score_users(users)
+        d = model._pair_distance(users, np.array([5])).data
+        np.testing.assert_allclose(full[0, 5], -d[0], rtol=1e-10)
+
+
+class TestRippleNetStructure:
+    def test_ripple_memories_shape(self, ooi_split, ooi_ckg_best):
+        model = RippleNet(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            ooi_split.train,
+            dim=8,
+            n_hop=2,
+            n_memory=4,
+            seed=0,
+        )
+        U = ooi_split.train.num_users
+        assert model.mem_h.shape == (U, 2, 4)
+
+    def test_hop1_heads_are_history_neighbors(self, ooi_split, ooi_ckg_best):
+        model = RippleNet(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            ooi_split.train,
+            dim=8,
+            n_memory=4,
+            seed=0,
+        )
+        u = int(ooi_split.train.active_users()[0])
+        history_entities = set(
+            ooi_ckg_best.all_item_entities()[ooi_split.train.items_of_user(u)].tolist()
+        )
+        assert set(model.mem_h[u, 0].tolist()) <= history_entities
+
+    def test_score_matches_pair_scores(self, ooi_split, ooi_ckg_best):
+        model = RippleNet(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            ooi_split.train,
+            dim=8,
+            n_memory=4,
+            seed=0,
+        )
+        users = np.array([0, 1])
+        items = np.array([2, 3])
+        pair = model._pair_scores(users, items).data
+        full = model.score_users(users)
+        np.testing.assert_allclose(full[np.arange(2), items], pair, rtol=1e-8)
+
+
+class TestKGCNStructure:
+    def test_score_matches_pair_scores(self, ooi_split, ooi_ckg_best):
+        model = KGCN(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            dim=8,
+            neighbor_size=4,
+            seed=0,
+        )
+        users = np.array([0, 1])
+        items = np.array([2, 3])
+        pair = model._pair_scores(users, items).data
+        full = model.score_users(users)
+        np.testing.assert_allclose(full[np.arange(2), items], pair, rtol=1e-8)
+
+    def test_invalid_params(self, ooi_split, ooi_ckg_best):
+        with pytest.raises(ValueError):
+            KGCN(3, 3, ooi_ckg_best, neighbor_size=0)

@@ -1,0 +1,317 @@
+"""CKAT model tests: attention, aggregators, propagation, training modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.kg.adjacency import CSRAdjacency
+from repro.models import CKAT, CKATConfig
+from repro.models.base import FitConfig
+from repro.models.ckat.layers import (
+    ConcatAggregator,
+    PropagationLayer,
+    SumAggregator,
+    build_weighted_adjacency,
+    compute_edge_attention,
+    uniform_edge_weights,
+)
+from repro.models.embeddings import TransE, TransR, corrupt_triples
+
+
+@pytest.fixture(scope="module")
+def ckat_model(ooi_split, ooi_ckg_best):
+    return CKAT(
+        ooi_split.train.num_users,
+        ooi_split.train.num_items,
+        ooi_ckg_best,
+        CKATConfig(dim=16, relation_dim=16, layer_dims=(16, 8)),
+        seed=0,
+    )
+
+
+class TestCKATConfig:
+    def test_defaults_follow_paper(self):
+        cfg = CKATConfig()
+        assert cfg.dim == 64
+        assert cfg.layer_dims == (64, 32, 16)
+        assert cfg.aggregator == "concat"
+        assert cfg.depth == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CKATConfig(dim=0)
+        with pytest.raises(ValueError):
+            CKATConfig(layer_dims=())
+        with pytest.raises(ValueError):
+            CKATConfig(aggregator="mean")
+        with pytest.raises(ValueError):
+            CKATConfig(attention_mode="never")
+        with pytest.raises(ValueError):
+            CKATConfig(dropout=1.0)
+
+
+class TestAttention:
+    def test_weights_sum_to_one_per_head(self, ckat_model):
+        adj = ckat_model.adj
+        w = ckat_model._edge_weights
+        sums = np.add.reduceat(w, adj.offsets[:-1][np.diff(adj.offsets) > 0])
+        np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+    def test_uniform_weights_are_inverse_degree(self, ckat_model):
+        adj = ckat_model.adj
+        w = uniform_edge_weights(adj)
+        degrees = adj.degree()
+        seg = np.repeat(np.arange(adj.num_entities), degrees)
+        np.testing.assert_allclose(w, 1.0 / degrees[seg])
+
+    def test_attention_changes_after_transr_update(self, ckat_model):
+        before = ckat_model._edge_weights.copy()
+        ckat_model.transr.entity_emb.data += 0.05
+        ckat_model.refresh_attention()
+        after = ckat_model._edge_weights
+        assert not np.allclose(before, after)
+        ckat_model.transr.entity_emb.data -= 0.05
+        ckat_model.refresh_attention()
+
+    def test_attention_differentiable_in_batch_mode(self, ooi_split, ooi_ckg_best):
+        model = CKAT(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            CKATConfig(dim=8, relation_dim=8, layer_dims=(8,), attention_mode="batch"),
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        loss = model.batch_loss(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]), rng)
+        loss.backward()
+        # Gradients must reach the relation projection through attention.
+        assert model.transr.proj.grad is not None
+        assert np.abs(model.transr.proj.grad).sum() > 0
+
+    def test_weighted_adjacency_matches_segments(self, ckat_model):
+        adj = ckat_model.adj
+        A = build_weighted_adjacency(adj, ckat_model._edge_weights)
+        x = np.random.default_rng(0).normal(size=(adj.num_entities, 4))
+        via_sparse = A @ x
+        manual = np.zeros_like(via_sparse)
+        np.add.at(manual, adj.heads, ckat_model._edge_weights[:, None] * x[adj.tails])
+        np.testing.assert_allclose(via_sparse, manual, atol=1e-10)
+
+
+class TestAggregators:
+    def test_concat_output_shape(self, rng):
+        agg = ConcatAggregator(6, 4, rng)
+        out = agg(Tensor(np.ones((3, 6))), Tensor(np.ones((3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_sum_output_shape(self, rng):
+        agg = SumAggregator(6, 4, rng)
+        out = agg(Tensor(np.ones((3, 6))), Tensor(np.ones((3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_sum_additivity(self, rng):
+        # For the sum aggregator, swapping self/neighbor roles is symmetric.
+        agg = SumAggregator(4, 4, rng)
+        a, b = Tensor(np.ones((2, 4))), Tensor(np.full((2, 4), 2.0))
+        np.testing.assert_allclose(agg(a, b).data, agg(b, a).data)
+
+    def test_invalid_aggregator_name(self, rng):
+        with pytest.raises(ValueError):
+            PropagationLayer(4, 4, aggregator="max", rng=rng)
+
+    def test_invalid_dropout(self, rng):
+        with pytest.raises(ValueError):
+            PropagationLayer(4, 4, aggregator="sum", rng=rng, dropout=1.0)
+
+
+class TestPropagation:
+    def test_propagate_shape(self, ckat_model, ooi_ckg_best):
+        out = ckat_model.propagate()
+        assert out.shape == (ooi_ckg_best.num_entities, 16 + 16 + 8)
+
+    def test_sparse_path_matches_segment_path(self, ckat_model):
+        layer = ckat_model.layers[0]
+        emb = ckat_model.transr.entity_emb
+        adj = ckat_model.adj
+        with no_grad():
+            via_segments = layer(emb, adj, ckat_model._edge_weights)
+            via_sparse = layer(
+                emb, adj, ckat_model._edge_weights, sparse_matrix=ckat_model._sparse_adj
+            )
+        np.testing.assert_allclose(via_segments.data, via_sparse.data, atol=1e-9)
+
+    def test_isolated_entity_keeps_self_signal(self, ckat_model):
+        # Entities with no edges receive zero neighborhood; their output is
+        # agg(e, 0) which must be finite.
+        out = ckat_model.propagate()
+        assert np.isfinite(out.data).all()
+
+    def test_entity_representations_no_tape(self, ckat_model):
+        reps = ckat_model.entity_representations()
+        assert isinstance(reps, np.ndarray)
+
+
+class TestCKATTraining:
+    def test_loss_decreases(self, ooi_split, ooi_ckg_best):
+        model = CKAT(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            CKATConfig(dim=16, relation_dim=16, layer_dims=(16,), kg_steps_per_epoch=2),
+            seed=0,
+        )
+        result = model.fit(ooi_split.train, FitConfig(epochs=4, batch_size=256, lr=0.01, seed=0))
+        assert result.losses[-1] < result.losses[0]
+        assert all(np.isfinite(result.losses))
+
+    def test_transr_phase_reported(self, ooi_split, ooi_ckg_best):
+        model = CKAT(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            CKATConfig(dim=8, relation_dim=8, layer_dims=(8,), kg_steps_per_epoch=2),
+            seed=0,
+        )
+        result = model.fit(ooi_split.train, FitConfig(epochs=2, batch_size=256, seed=0))
+        assert len(result.extra_losses) == 2
+        assert all(l >= 0 for l in result.extra_losses)
+
+    def test_depth_variants_build(self, ooi_split, ooi_ckg_best):
+        for dims in [(16,), (16, 8), (16, 8, 4)]:
+            model = CKAT(
+                ooi_split.train.num_users,
+                ooi_split.train.num_items,
+                ooi_ckg_best,
+                CKATConfig(dim=16, relation_dim=16, layer_dims=dims),
+                seed=0,
+            )
+            expected_dim = 16 + sum(dims)
+            assert model.propagate().shape[1] == expected_dim
+
+    def test_without_attention_trains(self, ooi_split, ooi_ckg_best):
+        model = CKAT(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            CKATConfig(dim=8, relation_dim=8, layer_dims=(8,), use_attention=False),
+            seed=0,
+        )
+        result = model.fit(ooi_split.train, FitConfig(epochs=2, batch_size=256, seed=0))
+        assert np.isfinite(result.losses).all()
+
+    def test_score_users_shape(self, ckat_model, ooi_split):
+        scores = ckat_model.score_users(np.array([0, 1]))
+        assert scores.shape == (2, ooi_split.train.num_items)
+
+    def test_parameters_complete(self, ckat_model):
+        params = ckat_model.parameters()
+        # TransR: entity + relation + proj; per layer: W + b.
+        assert len(params) == 3 + 2 * len(ckat_model.layers)
+
+
+class TestTransR:
+    def test_energy_nonnegative(self, rng):
+        tr = TransR(num_entities=10, num_relations=3, entity_dim=4, relation_dim=4, seed=0)
+        e = tr.energy(np.array([0, 1]), np.array([0, 2]), np.array([3, 4]))
+        assert (e.data >= 0).all()
+
+    def test_project_grouped_matches_naive(self, rng):
+        tr = TransR(num_entities=10, num_relations=3, entity_dim=4, relation_dim=5, seed=0)
+        rels = np.array([2, 0, 1, 0, 2])
+        ents = np.array([1, 3, 5, 7, 9])
+        grouped = tr.project(rels, ents).data
+        naive = np.stack(
+            [tr.proj.data[r] @ tr.entity_emb.data[e] for r, e in zip(rels, ents)]
+        )
+        np.testing.assert_allclose(grouped, naive, atol=1e-12)
+
+    def test_margin_loss_nonnegative(self, rng):
+        tr = TransR(num_entities=10, num_relations=2, entity_dim=4, relation_dim=4, seed=0)
+        loss = tr.margin_loss(np.array([0, 1]), np.array([0, 1]), np.array([2, 3]), rng)
+        assert loss.item() >= 0
+
+    def test_shared_entity_embedding(self, rng):
+        from repro.autograd import Parameter
+
+        shared = Parameter(np.zeros((10, 4)))
+        tr = TransR(10, 2, 4, 4, seed=0, shared_entity_embedding=shared)
+        assert tr.entity_emb is shared
+
+    def test_shared_embedding_shape_checked(self):
+        from repro.autograd import Parameter
+
+        with pytest.raises(ValueError):
+            TransR(10, 2, 4, 4, shared_entity_embedding=Parameter(np.zeros((5, 4))))
+
+    def test_training_reduces_energy_of_true_triples(self, ooi_ckg_best, rng):
+        from repro.autograd import Adam
+
+        store = ooi_ckg_best.store
+        tr = TransR(ooi_ckg_best.num_entities, store.num_relations, 8, 8, seed=0)
+        opt = Adam(tr.parameters(), lr=0.01)
+        h, r, t = store.heads[:512], store.rels[:512], store.tails[:512]
+        before = tr.energy(h, r, t).data.mean()
+        for _ in range(30):
+            opt.zero_grad()
+            loss = tr.margin_loss(h, r, t, rng)
+            loss.backward()
+            opt.step()
+        after = tr.energy(h, r, t).data.mean()
+        assert after < before
+
+
+class TestTransE:
+    def test_energy_zero_for_perfect_translation(self):
+        te = TransE(num_entities=3, num_relations=1, dim=2, seed=0)
+        te.entity_emb.data[0] = [0.0, 0.0]
+        te.entity_emb.data[1] = [1.0, 1.0]
+        te.relation_emb.data[0] = [1.0, 1.0]
+        e = te.energy(np.array([0]), np.array([0]), np.array([1]))
+        np.testing.assert_allclose(e.data, [0.0], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransE(0, 1, 4)
+
+
+class TestCorruptTriples:
+    def test_exactly_one_side_changes_or_same_entity(self, rng):
+        heads = np.arange(50)
+        tails = np.arange(50, 100)
+        ch, ct = corrupt_triples(heads, tails, num_entities=200, rng=rng)
+        for i in range(50):
+            # One side must remain intact.
+            assert ch[i] == heads[i] or ct[i] == tails[i]
+
+    def test_shapes(self, rng):
+        ch, ct = corrupt_triples(np.zeros(7, dtype=int), np.ones(7, dtype=int), 10, rng)
+        assert len(ch) == len(ct) == 7
+
+
+class TestAttentionModes:
+    def test_batch_and_epoch_agree_at_init(self, ooi_split, ooi_ckg_best):
+        """Immediately after construction the frozen attention equals the
+        freshly-computed one, so both modes score identically."""
+        cfg_epoch = CKATConfig(
+            dim=8, relation_dim=8, layer_dims=(8,), dropout=0.0, attention_mode="epoch"
+        )
+        cfg_batch = CKATConfig(
+            dim=8, relation_dim=8, layer_dims=(8,), dropout=0.0, attention_mode="batch"
+        )
+        m_epoch = CKAT(
+            ooi_split.train.num_users, ooi_split.train.num_items, ooi_ckg_best, cfg_epoch, seed=3
+        )
+        m_batch = CKAT(
+            ooi_split.train.num_users, ooi_split.train.num_items, ooi_ckg_best, cfg_batch, seed=3
+        )
+        with no_grad():
+            a = m_epoch.propagate().data
+            b = m_batch.propagate().data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_epoch_mode_uses_sparse_path(self, ckat_model):
+        assert ckat_model._sparse_adj is not None
+        assert ckat_model._sparse_adj.shape == (
+            ckat_model.ckg.num_entities,
+            ckat_model.ckg.num_entities,
+        )

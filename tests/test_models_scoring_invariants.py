@@ -1,0 +1,72 @@
+"""Cross-model scoring invariants.
+
+Checks every registered model satisfies the contracts the evaluator and the
+recommendation API rely on: score determinism at inference time, batching
+invariance, exclusion handling, and basic learned-signal sanity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import MODEL_NAMES, build_model
+from repro.experiments.datasets import load_dataset
+from repro.models.base import FitConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    ds = load_dataset("ooi", scale="small", seed=29)
+    ckg = ds.build_ckg()
+    return ds, ckg
+
+
+@pytest.fixture(scope="module")
+def trained_registry(tiny_setup):
+    ds, ckg = tiny_setup
+    from repro.models import CKATConfig
+
+    out = {}
+    for name in MODEL_NAMES:
+        model = build_model(
+            name,
+            ds,
+            ckg,
+            seed=0,
+            ckat_config=CKATConfig(dim=8, relation_dim=8, layer_dims=(8,), kg_steps_per_epoch=2),
+        )
+        model.fit(ds.split.train, FitConfig(epochs=2, batch_size=256, seed=0))
+        out[name] = model
+    return out
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestScoringInvariants:
+    def test_inference_deterministic(self, trained_registry, name):
+        model = trained_registry[name]
+        a = model.score_users(np.array([0, 1]))
+        b = model.score_users(np.array([0, 1]))
+        np.testing.assert_allclose(a, b)
+
+    def test_batching_invariance(self, trained_registry, name):
+        model = trained_registry[name]
+        together = model.score_users(np.array([0, 2, 4]))
+        alone = model.score_users(np.array([2]))
+        np.testing.assert_allclose(together[1], alone[0], rtol=1e-8, atol=1e-10)
+
+    def test_scores_finite(self, trained_registry, name, tiny_setup):
+        ds, _ = tiny_setup
+        model = trained_registry[name]
+        scores = model.score_users(np.arange(min(8, ds.split.train.num_users)))
+        assert np.isfinite(scores).all()
+
+    def test_scores_not_constant(self, trained_registry, name):
+        """A trained model must discriminate between items."""
+        model = trained_registry[name]
+        scores = model.score_users(np.array([0]))[0]
+        assert scores.std() > 0
+
+    def test_recommend_within_catalog(self, trained_registry, name, tiny_setup):
+        ds, _ = tiny_setup
+        model = trained_registry[name]
+        recs = model.recommend(0, k=7)
+        assert (recs >= 0).all() and (recs < ds.split.train.num_items).all()

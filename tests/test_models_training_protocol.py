@@ -1,0 +1,99 @@
+"""Training-protocol tests: best-epoch checkpointing, schedules, budgets."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import default_fit_config
+from repro.models import BPRMF
+from repro.models.base import FitConfig
+
+
+class TestBestEpochCheckpointing:
+    def test_best_snapshot_restored(self, ooi_split):
+        """After fit with keep_best_metric, the model scores equal the best
+        evaluation checkpoint, not the final epoch."""
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=8, seed=0)
+        snapshots = []
+
+        def callback():
+            # Record current user embedding fingerprint alongside a fake
+            # metric that peaks in the middle of training.
+            snapshots.append(model.user_emb.data.copy())
+            fake = [0.1, 0.9, 0.2, 0.15]
+            return {"recall@20": fake[len(snapshots) - 1]}
+
+        model.fit(
+            ooi_split.train,
+            FitConfig(
+                epochs=4,
+                batch_size=256,
+                seed=0,
+                eval_every=1,
+                keep_best_metric="recall@20",
+            ),
+            eval_callback=callback,
+        )
+        # Best fake metric was at checkpoint 2 → parameters restored there.
+        np.testing.assert_array_equal(model.user_emb.data, snapshots[1])
+
+    def test_missing_metric_key_raises(self, ooi_split):
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=8, seed=0)
+        with pytest.raises(KeyError):
+            model.fit(
+                ooi_split.train,
+                FitConfig(
+                    epochs=1,
+                    batch_size=256,
+                    seed=0,
+                    eval_every=1,
+                    keep_best_metric="nonexistent",
+                ),
+                eval_callback=lambda: {"recall@20": 0.5},
+            )
+
+    def test_no_checkpointing_without_metric(self, ooi_split):
+        """Plain eval_every without keep_best leaves final-epoch params."""
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=8, seed=0)
+        seen = []
+        model.fit(
+            ooi_split.train,
+            FitConfig(epochs=2, batch_size=256, seed=0, eval_every=1),
+            eval_callback=lambda: seen.append(model.user_emb.data.copy()) or {"m": 0.0},
+        )
+        # Final params equal the last checkpoint (training continued).
+        np.testing.assert_array_equal(model.user_emb.data, seen[-1])
+
+
+class TestDefaultBudgets:
+    @pytest.mark.parametrize(
+        "name", ["BPRMF", "FM", "NFM", "CKE", "CFKG", "RippleNet", "KGCN", "CKAT"]
+    )
+    def test_all_models_have_budgets(self, name):
+        cfg = default_fit_config(name)
+        assert cfg.epochs >= 30
+        assert cfg.lr in (0.05, 0.01, 0.005, 0.001)  # the paper's grid
+
+    def test_epoch_override(self):
+        assert default_fit_config("CKAT", epochs=3).epochs == 3
+
+    def test_seed_passthrough(self):
+        assert default_fit_config("FM", seed=11).seed == 11
+
+
+class TestFitLossAccounting:
+    def test_loss_history_length(self, ooi_split):
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=4, seed=0)
+        result = model.fit(ooi_split.train, FitConfig(epochs=3, batch_size=256, seed=0))
+        assert len(result.losses) == 3
+        assert len(result.extra_losses) == 3
+        assert result.seconds > 0
+
+    def test_final_loss_property(self, ooi_split):
+        model = BPRMF(ooi_split.train.num_users, ooi_split.train.num_items, dim=4, seed=0)
+        result = model.fit(ooi_split.train, FitConfig(epochs=2, batch_size=256, seed=0))
+        assert result.final_loss == result.losses[-1]
+
+    def test_empty_fit_result_nan(self):
+        from repro.models.base import FitResult
+
+        assert np.isnan(FitResult([], [], 0.0, []).final_loss)
