@@ -9,8 +9,6 @@ import numpy as np
 from conftest import write_result
 
 from repro.kg import KnowledgeSources
-from repro.models.ckat.layers import uniform_edge_weights
-from repro.kg.adjacency import CSRAdjacency
 from repro.parallel import partition_edges, sharded_segment_sum
 from repro.utils.tables import TextTable
 

@@ -2,18 +2,19 @@
 
 These use pytest-benchmark's statistics properly (multiple rounds) since a
 single step is fast: one CKAT BPR step (full-graph propagation forward +
-backward), one TransR phase step, attention refresh, and full-catalog
-scoring.  Useful for tracking performance regressions in the autograd
-engine and the sparse propagation path.
+backward), one TransR phase step, attention refresh, full-catalog scoring,
+and the full-ranking evaluation protocol (vectorized fast path, float64 and
+float32 buffers).  Useful for tracking performance regressions in the
+autograd engine, the sparse propagation path, and the evaluation pipeline.
 """
 
 import numpy as np
 import pytest
 
 from repro.data.sampling import BPRSampler
+from repro.eval.evaluator import RankingEvaluator
 from repro.kg import KnowledgeSources
 from repro.models import CKAT, CKATConfig
-from repro.models.base import FitConfig
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +70,23 @@ def test_ckat_full_catalog_scoring(benchmark, ckat_setup, ooi_dataset):
 
     scores = benchmark(model.score_users, users)
     assert scores.shape == (len(users), ooi_dataset.split.train.num_items)
+
+
+def test_full_ranking_evaluation(benchmark, ckat_setup, ooi_dataset):
+    """End-to-end top-K protocol on the vectorized fast path (float64)."""
+    model = ckat_setup[0]
+    ev = RankingEvaluator(ooi_dataset.split.train, ooi_dataset.split.test, k=20)
+
+    result = benchmark(ev.evaluate, model.score_users)
+    assert result.num_users > 0
+
+
+def test_full_ranking_evaluation_float32(benchmark, ckat_setup, ooi_dataset):
+    """Same protocol with the float32 score buffer."""
+    model = ckat_setup[0]
+    ev = RankingEvaluator(
+        ooi_dataset.split.train, ooi_dataset.split.test, k=20, score_dtype=np.float32
+    )
+
+    result = benchmark(ev.evaluate, model.score_users)
+    assert result.num_users > 0

@@ -27,9 +27,9 @@ Quickstart
 >>> print(result.recall, result.ndcg)  # doctest: +SKIP
 """
 
+from repro.eval import RankingEvaluator
 from repro.experiments.datasets import BenchmarkDataset, load_dataset
 from repro.experiments.runner import MODEL_NAMES, build_model, run_single_model
-from repro.eval import RankingEvaluator
 from repro.kg import CollaborativeKnowledgeGraph, KnowledgeSources, build_ckg
 from repro.models import (
     BPRMF,

@@ -14,8 +14,8 @@ from repro.analysis.locality import (
     pair_similarity_study,
     query_concentration,
 )
-from repro.analysis.tsne import TSNE, object_feature_matrix, tsne_embed_user_queries
 from repro.analysis.summary import FacilityReport, facility_report
+from repro.analysis.tsne import TSNE, object_feature_matrix, tsne_embed_user_queries
 
 __all__ = [
     "UserQueryDistributions",

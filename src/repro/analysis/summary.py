@@ -11,7 +11,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.analysis.distributions import UserQueryDistributions, compute_distributions
 from repro.analysis.locality import PairStudyResult, pair_similarity_study, query_concentration

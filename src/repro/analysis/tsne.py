@@ -12,7 +12,6 @@ perplexity calibration, early exaggeration, momentum gradient descent.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 

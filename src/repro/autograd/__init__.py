@@ -17,11 +17,11 @@ knowledge graphs (thousands of entities, 64-dim embeddings) this trains all
 models in seconds to minutes on one core, which is all the reproduction needs.
 """
 
-from repro.autograd.tensor import Tensor, Parameter, no_grad, is_grad_enabled
 from repro.autograd import functional
-from repro.autograd.optim import SGD, Adam, AdaGrad, Optimizer
-from repro.autograd.init import xavier_uniform, xavier_normal, normal_init
 from repro.autograd.gradcheck import GradcheckError, gradcheck, numerical_gradient
+from repro.autograd.init import xavier_uniform, xavier_normal, normal_init
+from repro.autograd.optim import SGD, Adam, AdaGrad, Optimizer
+from repro.autograd.tensor import Tensor, Parameter, no_grad, is_grad_enabled
 
 __all__ = [
     "Tensor",

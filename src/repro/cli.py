@@ -46,6 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
     p_table.add_argument("--epochs", type=int, default=None)
+    p_table.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan independent table cells across this many worker processes "
+        "(Tables II–V; results are identical to the serial run)",
+    )
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("number", type=int, choices=(3, 4, 5))
@@ -81,12 +88,13 @@ def _cmd_table(args) -> int:
         load_dataset("ooi", scale=args.scale, seed=args.seed),
         load_dataset("gage", scale=args.scale, seed=args.seed),
     ]
+    kw = dict(epochs=args.epochs, seed=args.seed, num_workers=args.workers)
     fn = {
         1: lambda: tables.table1(*datasets),
-        2: lambda: tables.table2(datasets, epochs=args.epochs, seed=args.seed),
-        3: lambda: tables.table3(datasets, epochs=args.epochs, seed=args.seed),
-        4: lambda: tables.table4(datasets, epochs=args.epochs, seed=args.seed),
-        5: lambda: tables.table5(datasets, epochs=args.epochs, seed=args.seed),
+        2: lambda: tables.table2(datasets, **kw),
+        3: lambda: tables.table3(datasets, **kw),
+        4: lambda: tables.table4(datasets, **kw),
+        5: lambda: tables.table5(datasets, **kw),
     }[args.number]
     _, text = fn()
     print(text)

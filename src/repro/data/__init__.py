@@ -8,8 +8,8 @@ consumed.
 """
 
 from repro.data.interactions import InteractionDataset, trace_to_interactions
-from repro.data.split import TrainTestSplit, per_user_split
 from repro.data.sampling import BPRSampler
+from repro.data.split import TrainTestSplit, per_user_split
 
 __all__ = [
     "InteractionDataset",

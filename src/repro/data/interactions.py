@@ -9,7 +9,6 @@ signal and would make recall@20 degenerate).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -51,6 +51,23 @@ class BPRSampler:
         idx = np.clip(idx, 0, len(self._keys) - 1)
         return self._keys[idx] == keys
 
+    def _reject_negatives(
+        self, users: np.ndarray, neg: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Redraw (in place) negatives that collide with ``users``' positives.
+
+        Bounded rejection sampling: any entry still positive after
+        ``max_rejection_rounds`` redraws keeps its last random item (only
+        reachable for users whose positives cover the whole catalog).
+        """
+        bad = self.is_positive(users, neg)
+        rounds = 0
+        while bad.any() and rounds < self.max_rejection_rounds:
+            neg[bad] = rng.integers(0, self.data.num_items, size=int(bad.sum()))
+            bad = self.is_positive(users, neg)
+            rounds += 1
+        return neg
+
     def sample_batch(
         self, batch_size: int, rng: np.random.Generator
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -67,13 +84,7 @@ class BPRSampler:
         users = self.data.user_ids[pick]
         pos = self.data.item_ids[pick]
         neg = rng.integers(0, self.data.num_items, size=batch_size)
-        bad = self.is_positive(users, neg)
-        rounds = 0
-        while bad.any() and rounds < self.max_rejection_rounds:
-            neg[bad] = rng.integers(0, self.data.num_items, size=int(bad.sum()))
-            bad = self.is_positive(users, neg)
-            rounds += 1
-        return users, pos, neg
+        return users, pos, self._reject_negatives(users, neg, rng)
 
     def epoch_batches(
         self, batch_size: int, seed=0
@@ -90,10 +101,4 @@ class BPRSampler:
             users = self.data.user_ids[pick]
             pos = self.data.item_ids[pick]
             neg = rng.integers(0, self.data.num_items, size=len(pick))
-            bad = self.is_positive(users, neg)
-            rounds = 0
-            while bad.any() and rounds < self.max_rejection_rounds:
-                neg[bad] = rng.integers(0, self.data.num_items, size=int(bad.sum()))
-                bad = self.is_positive(users, neg)
-                rounds += 1
-            yield users, pos, neg
+            yield users, pos, self._reject_negatives(users, neg, rng)

@@ -5,6 +5,8 @@ for every test user, all items are scored, training positives are masked,
 and the top K of the remainder are compared against the held-out test items.
 """
 
+from repro.eval.evaluator import EvaluationResult, PerUserMetrics, RankingEvaluator
+from repro.eval.loo import LOOResult, evaluate_loo, leave_one_out_split
 from repro.eval.metrics import (
     average_precision_at_k,
     hit_at_k,
@@ -13,8 +15,7 @@ from repro.eval.metrics import (
     precision_at_k,
     recall_at_k,
 )
-from repro.eval.evaluator import EvaluationResult, RankingEvaluator
-from repro.eval.loo import LOOResult, evaluate_loo, leave_one_out_split
+from repro.eval.sharded import SnapshotScorer, sharded_evaluate
 from repro.eval.significance import (
     PairedTestResult,
     bootstrap_ci,
@@ -31,6 +32,9 @@ __all__ = [
     "average_precision_at_k",
     "RankingEvaluator",
     "EvaluationResult",
+    "PerUserMetrics",
+    "SnapshotScorer",
+    "sharded_evaluate",
     "bootstrap_ci",
     "paired_bootstrap_test",
     "per_user_metrics",

@@ -1,24 +1,41 @@
 """Vectorized full-ranking evaluator.
 
 For each batch of test users the evaluator asks the model for a dense
-(users × items) score matrix, masks the users' training items to −inf, takes
-the top K columns with ``argpartition`` (O(N) per row instead of a full
-sort), and accumulates recall/ndcg vectorized across the batch.
+(users × items) score matrix, masks the users' training items out of the
+ranking, takes the top K columns with ``argpartition`` (O(N) per row instead
+of a full sort), and accumulates recall/ndcg/precision/hit vectorized across
+the batch.
+
+The hot path is loop-free (DESIGN.md §6):
+
+- train/test interactions are indexed as CSR (``indptr``/``indices``) once at
+  construction;
+- a batch's training positives are masked with one flat fancy-index (row
+  indices repeated by per-user degree, columns gathered straight from the
+  CSR ``indices`` array);
+- hit flags come from a single ``searchsorted`` of the batch's top-K
+  ``user * num_items + item`` keys against the globally sorted test keys —
+  no per-row ``np.isin``;
+- per-user metrics accumulate into preallocated arrays, and the dense score
+  matrix lives in a reusable buffer (optionally float32) so steady-state
+  evaluation performs no per-batch ``users × items`` allocation.
 
 Only users with at least one test interaction are evaluated (the paper's
-protocol: metrics are means over test users).
+protocol: metrics are means over test users).  Because every step is
+row-wise, per-user metric values are independent of batching — the property
+the sharded evaluator (:mod:`repro.eval.sharded`) relies on for exactness.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.interactions import InteractionDataset
 
-__all__ = ["EvaluationResult", "RankingEvaluator"]
+__all__ = ["EvaluationResult", "PerUserMetrics", "RankingEvaluator"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +64,55 @@ class EvaluationResult:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class PerUserMetrics:
+    """Per-user metric vectors, aligned with ``users``.
+
+    This is the mergeable form of an evaluation: concatenating the
+    per-user vectors of contiguous user shards (in shard order) rebuilds
+    exactly the arrays a single serial pass would produce, so the reduced
+    means are bit-identical — the exactness contract of
+    :func:`repro.eval.sharded.sharded_evaluate`.
+    """
+
+    users: np.ndarray
+    recall: np.ndarray
+    ndcg: np.ndarray
+    precision: np.ndarray
+    hit: np.ndarray
+    k: int
+
+    def reduce(self) -> EvaluationResult:
+        """Mean the per-user vectors into an :class:`EvaluationResult`."""
+        if self.users.size == 0:
+            raise ValueError("cannot reduce an empty PerUserMetrics")
+        return EvaluationResult(
+            recall=float(np.mean(self.recall)),
+            ndcg=float(np.mean(self.ndcg)),
+            precision=float(np.mean(self.precision)),
+            hit=float(np.mean(self.hit)),
+            k=self.k,
+            num_users=int(self.users.size),
+        )
+
+    @staticmethod
+    def concatenate(parts: Sequence["PerUserMetrics"]) -> "PerUserMetrics":
+        """Stitch shard results back together in shard order."""
+        if not parts:
+            raise ValueError("no shard results to concatenate")
+        ks = {p.k for p in parts}
+        if len(ks) != 1:
+            raise ValueError(f"shards evaluated at different k: {sorted(ks)}")
+        return PerUserMetrics(
+            users=np.concatenate([p.users for p in parts]),
+            recall=np.concatenate([p.recall for p in parts]),
+            ndcg=np.concatenate([p.ndcg for p in parts]),
+            precision=np.concatenate([p.precision for p in parts]),
+            hit=np.concatenate([p.hit for p in parts]),
+            k=parts[0].k,
+        )
+
+
 class RankingEvaluator:
     """Evaluates a scoring function against a train/test interaction pair.
 
@@ -60,6 +126,11 @@ class RankingEvaluator:
     user_batch:
         Number of users scored per model call — bounds the dense score
         matrix to ``user_batch × num_items`` floats.
+    score_dtype:
+        Dtype of the internal score buffer, ``np.float64`` (default) or
+        ``np.float32``.  float32 halves the masking/top-K memory traffic; at
+        K=20 the induced ranking is identical unless scores tie within
+        float32 resolution.
     """
 
     def __init__(
@@ -68,6 +139,7 @@ class RankingEvaluator:
         test: InteractionDataset,
         k: int = 20,
         user_batch: int = 256,
+        score_dtype=np.float64,
     ):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -75,30 +147,175 @@ class RankingEvaluator:
             raise ValueError(f"user_batch must be positive, got {user_batch}")
         if train.num_users != test.num_users or train.num_items != test.num_items:
             raise ValueError("train and test must share id spaces")
+        score_dtype = np.dtype(score_dtype)
+        if score_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"score_dtype must be float32 or float64, got {score_dtype}")
         self.train = train
         self.test = test
         self.k = k
         self.user_batch = user_batch
+        self.score_dtype = score_dtype
         self.eval_users = test.active_users()
+        # CSR views over the (already user-sorted) interaction arrays.
+        self._train_indptr = train.user_offsets
+        self._train_indices = train.item_ids
+        self._test_indptr = test.user_offsets
+        self._test_degree = test.user_degree()
+        # Test membership keys: user-major, item-minor — globally sorted
+        # because the dataset arrays are lexsorted by (user, item).
+        self._test_keys = test.user_ids * np.int64(test.num_items) + test.item_ids
+        # DCG position discounts and the IDCG lookup (index = min(rel, k) - 1).
+        self._discounts = 1.0 / np.log2(np.arange(2, k + 2))
+        self._idcg = np.cumsum(self._discounts)
+        # Reusable score buffer, grown lazily to (user_batch, num_items).
+        self._score_buf: Optional[np.ndarray] = None
 
-    def evaluate(self, score_fn, users: Optional[np.ndarray] = None) -> EvaluationResult:
-        """Run the protocol.
+    # ------------------------------------------------------------ internals
+    def _resolve_users(self, users: Optional[np.ndarray]) -> np.ndarray:
+        """Default to all test-active users; strictly validate subsets.
+
+        An explicit ``users=`` array must contain in-range users that all
+        have test interactions — silently dropping empty-test users would
+        make ``num_users`` (and the metric means) lie about the requested
+        population.
+        """
+        if users is None:
+            return self.eval_users
+        users = np.asarray(users, dtype=np.int64)
+        if users.size:
+            if users.min() < 0 or users.max() >= self.test.num_users:
+                bad = users[(users < 0) | (users >= self.test.num_users)]
+                raise ValueError(f"user ids out of range: {np.unique(bad).tolist()}")
+            empty = users[self._test_degree[users] == 0]
+            if empty.size:
+                raise ValueError(
+                    "users with no test interactions cannot be evaluated: "
+                    f"{np.unique(empty).tolist()}"
+                )
+        return users
+
+    def _score_buffer(self, rows: int) -> np.ndarray:
+        """A reusable (rows, num_items) view of the internal score buffer."""
+        n_items = self.train.num_items
+        if self._score_buf is None or self._score_buf.shape[0] < rows:
+            self._score_buf = np.empty((rows, n_items), dtype=self.score_dtype)
+        return self._score_buf[:rows]
+
+    def _mask_train_positives(self, neg_scores: np.ndarray, batch: np.ndarray) -> None:
+        """Mask every training positive of ``batch`` in one flat fancy-index.
+
+        ``neg_scores`` holds *negated* scores, so masking writes +inf
+        (ranked last).
+        """
+        indptr = self._train_indptr
+        deg = indptr[batch + 1] - indptr[batch]
+        total = int(deg.sum())
+        if total == 0:
+            return
+        rows = np.repeat(np.arange(len(batch)), deg)
+        # Flat positions into the CSR indices array: each user's run starts
+        # at indptr[user] and the within-run offset is a global arange minus
+        # the run's exclusive cumulative start.
+        run_starts = np.zeros(len(batch), dtype=np.int64)
+        np.cumsum(deg[:-1], out=run_starts[1:])
+        flat = np.repeat(indptr[batch] - run_starts, deg) + np.arange(total)
+        neg_scores[rows, self._train_indices[flat]] = np.inf
+
+    def _top_k(self, neg_scores: np.ndarray) -> np.ndarray:
+        """Row-wise top-K item ids, best first (stable under ties).
+
+        Operates on negated scores so no ``-scores`` temporary is ever
+        materialized: ascending selection over ``neg_scores`` is descending
+        selection over the original scores, with identical tie behavior.
+        """
+        k = self.k
+        top = np.argpartition(neg_scores, k - 1, axis=1)[:, :k]
+        row_idx = np.arange(neg_scores.shape[0])[:, None]
+        order = np.argsort(neg_scores[row_idx, top], axis=1, kind="stable")
+        return top[row_idx, order]
+
+    # -------------------------------------------------------------- protocol
+    def evaluate_per_user(
+        self, score_fn, users: Optional[np.ndarray] = None
+    ) -> PerUserMetrics:
+        """Run the protocol, returning per-user metric vectors.
 
         Parameters
         ----------
         score_fn:
-            Callable ``(user_ids: int64[B]) -> float64[B, num_items]``.
+            Callable ``(user_ids: int64[B]) -> float[B, num_items]``.
         users:
             Subset of users to evaluate; defaults to all test-active users.
+            Every explicit user must have at least one test interaction.
         """
-        users = self.eval_users if users is None else np.asarray(users, dtype=np.int64)
+        users = self._resolve_users(users)
         if users.size == 0:
             raise ValueError("no users to evaluate")
         k = self.k
         n_items = self.train.num_items
         if k > n_items:
             raise ValueError(f"k={k} exceeds the number of items {n_items}")
-        recalls, ndcgs, precisions, hits = [], [], [], []
+        n_users = len(users)
+        recall = np.empty(n_users, dtype=np.float64)
+        ndcg = np.empty(n_users, dtype=np.float64)
+        precision = np.empty(n_users, dtype=np.float64)
+        hit = np.empty(n_users, dtype=np.float64)
+        for start in range(0, n_users, self.user_batch):
+            batch = users[start : start + self.user_batch]
+            raw = np.asarray(score_fn(batch))
+            if raw.shape != (len(batch), n_items):
+                raise ValueError(
+                    f"score_fn returned shape {raw.shape}, expected {(len(batch), n_items)}"
+                )
+            # Fused copy + negate into the reusable buffer: one pass, no
+            # per-batch (users × items) allocation.
+            neg_scores = self._score_buffer(len(batch))
+            np.multiply(raw, -1.0, out=neg_scores, casting="unsafe")
+            self._mask_train_positives(neg_scores, batch)
+            top = self._top_k(neg_scores)
+            # Hit flags: one searchsorted of the batch's (user, item) keys
+            # against the sorted global test keys.
+            keys = batch[:, None] * np.int64(n_items) + top
+            idx = np.searchsorted(self._test_keys, keys.ravel())
+            idx = np.minimum(idx, len(self._test_keys) - 1)
+            gains = (self._test_keys[idx] == keys.ravel()).astype(np.float64)
+            gains = gains.reshape(len(batch), k)
+            n_hit = gains.sum(axis=1)
+            rel = self._test_degree[batch]
+            sl = slice(start, start + len(batch))
+            recall[sl] = n_hit / rel
+            precision[sl] = n_hit / k
+            hit[sl] = n_hit > 0
+            ndcg[sl] = (gains @ self._discounts) / self._idcg[np.minimum(rel, k) - 1]
+        return PerUserMetrics(
+            users=users, recall=recall, ndcg=ndcg, precision=precision, hit=hit, k=k
+        )
+
+    def evaluate(self, score_fn, users: Optional[np.ndarray] = None) -> EvaluationResult:
+        """Run the protocol and reduce to metric means (the paper's numbers)."""
+        return self.evaluate_per_user(score_fn, users).reduce()
+
+    # ------------------------------------------------------- legacy reference
+    def evaluate_legacy(
+        self, score_fn, users: Optional[np.ndarray] = None
+    ) -> EvaluationResult:
+        """Pre-vectorization reference path (per-user Python loops).
+
+        Kept as the correctness oracle for the fast path and as the baseline
+        of ``benchmarks/test_bench_eval.py``.  Matches :meth:`evaluate` to
+        float tolerance on any input the fast path accepts.
+        """
+        users = self._resolve_users(users)
+        if users.size == 0:
+            raise ValueError("no users to evaluate")
+        k = self.k
+        n_items = self.train.num_items
+        if k > n_items:
+            raise ValueError(f"k={k} exceeds the number of items {n_items}")
+        recalls: List[float] = []
+        ndcgs: List[float] = []
+        precisions: List[float] = []
+        hits: List[float] = []
         ideal_discounts = 1.0 / np.log2(np.arange(2, k + 2))
         for start in range(0, len(users), self.user_batch):
             batch = users[start : start + self.user_batch]
@@ -107,10 +324,8 @@ class RankingEvaluator:
                 raise ValueError(
                     f"score_fn returned shape {scores.shape}, expected {(len(batch), n_items)}"
                 )
-            # Mask training positives.
             for row, user in enumerate(batch):
                 scores[row, self.train.items_of_user(int(user))] = -np.inf
-            # Top-K via argpartition then in-block sort.
             top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
             row_idx = np.arange(len(batch))[:, None]
             order = np.argsort(-scores[row_idx, top], axis=1, kind="stable")

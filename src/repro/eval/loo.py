@@ -11,7 +11,7 @@ alone moves the numbers (it moves them a lot; sampled metrics are inflated).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional
+from typing import Callable
 
 import numpy as np
 

@@ -11,23 +11,29 @@ Each harness returns structured results *and* renders a paper-shaped text
 table, so benches can both assert on the shape and print paper-vs-measured.
 """
 
+from repro.experiments import figures, tables
+from repro.experiments.coldstart import cold_start_report, slice_users_by_history
 from repro.experiments.datasets import BenchmarkDataset, load_dataset
+from repro.experiments.gridsearch import GridSearchResult, grid_search
 from repro.experiments.runner import (
     MODEL_NAMES,
+    CellSpec,
     build_model,
     default_fit_config,
+    run_cell,
+    run_cells,
     run_single_model,
 )
-from repro.experiments import figures, tables
-from repro.experiments.gridsearch import GridSearchResult, grid_search
-from repro.experiments.coldstart import cold_start_report, slice_users_by_history
 
 __all__ = [
     "BenchmarkDataset",
     "load_dataset",
     "MODEL_NAMES",
+    "CellSpec",
     "build_model",
     "default_fit_config",
+    "run_cell",
+    "run_cells",
     "run_single_model",
     "tables",
     "figures",

@@ -11,7 +11,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.data.interactions import InteractionDataset, trace_to_interactions
 from repro.data.split import TrainTestSplit, per_user_split

@@ -12,9 +12,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.data.interactions import InteractionDataset
 from repro.data.split import per_user_split

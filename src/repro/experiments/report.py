@@ -10,7 +10,7 @@ long suite is still running.
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 __all__ = ["results_index", "collect_results", "EXPECTED_RESULTS"]
 

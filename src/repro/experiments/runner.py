@@ -12,12 +12,10 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from repro.eval.evaluator import EvaluationResult, RankingEvaluator
-from repro.experiments.datasets import BenchmarkDataset
+from repro.eval.evaluator import RankingEvaluator
+from repro.experiments.datasets import BenchmarkDataset, load_dataset
 from repro.kg.ckg import CollaborativeKnowledgeGraph
 from repro.kg.subgraphs import KnowledgeSources
 from repro.models import (
@@ -34,6 +32,7 @@ from repro.models import (
     RippleNet,
 )
 from repro.models.base import FitConfig
+from repro.parallel.executor import MapExecutor, ProcessExecutor, SerialExecutor
 
 __all__ = [
     "MODEL_NAMES",
@@ -41,6 +40,9 @@ __all__ = [
     "default_fit_config",
     "run_single_model",
     "RunResult",
+    "CellSpec",
+    "run_cell",
+    "run_cells",
 ]
 
 MODEL_NAMES = ("BPRMF", "FM", "NFM", "CKE", "CFKG", "RippleNet", "KGCN", "CKAT")
@@ -160,3 +162,80 @@ def run_single_model(
         eval_seconds=time.perf_counter() - t0,
         final_loss=fit.final_loss,
     )
+
+
+# --------------------------------------------------------- experiment fan-out
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """Picklable description of one independent table cell.
+
+    A cell is one (model × dataset × variant) train→evaluate run — the unit
+    the paper's Tables II–V are made of.  Cells share nothing at runtime, so
+    they can fan out across a :class:`~repro.parallel.executor.ProcessExecutor`.
+
+    ``dataset`` is either a loaded :class:`BenchmarkDataset` (pickled to the
+    worker, guaranteeing the exact same data as a serial run) or a dataset
+    name, rebuilt in the worker via :func:`load_dataset` with
+    ``dataset_scale``/``dataset_seed`` — bit-identical by construction since
+    the bundles are pure functions of their seed.
+    """
+
+    label: str
+    model: str
+    dataset: Union[str, BenchmarkDataset]
+    dataset_scale: str = "full"
+    dataset_seed: int = 7
+    epochs: Optional[int] = None
+    seed: int = 0
+    k: int = 20
+    sources: KnowledgeSources = KnowledgeSources.best()
+    ckat_config: Optional[CKATConfig] = None
+    best_epoch_selection: bool = True
+
+
+def run_cell(spec: CellSpec) -> RunResult:
+    """Execute one cell (worker entry point — module-level, picklable)."""
+    dataset = spec.dataset
+    if isinstance(dataset, str):
+        dataset = load_dataset(dataset, scale=spec.dataset_scale, seed=spec.dataset_seed)
+    return run_single_model(
+        spec.model,
+        dataset,
+        epochs=spec.epochs,
+        seed=spec.seed,
+        k=spec.k,
+        ckat_config=spec.ckat_config,
+        sources=spec.sources,
+        best_epoch_selection=spec.best_epoch_selection,
+    )
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    executor: Optional[MapExecutor] = None,
+    num_workers: int = 0,
+) -> List[Tuple[CellSpec, RunResult]]:
+    """Run independent cells, optionally fanned across worker processes.
+
+    Parameters
+    ----------
+    specs:
+        The cells to run.
+    executor:
+        Explicit backend.  When ``None``, ``num_workers > 1`` selects a
+        :class:`ProcessExecutor` (closed after the run); anything else falls
+        back to the :class:`SerialExecutor` reference.
+    num_workers:
+        Convenience worker count used only when ``executor`` is ``None``.
+
+    Results are returned in spec order, paired with their specs, and are
+    identical to a serial run: each cell derives all randomness from its own
+    seeds, so process boundaries cannot change the numbers.
+    """
+    specs = list(specs)
+    if executor is not None:
+        return list(zip(specs, executor.map(run_cell, specs)))
+    if num_workers > 1:
+        with ProcessExecutor(max_workers=num_workers) as pool:
+            return list(zip(specs, pool.map(run_cell, specs)))
+    return list(zip(specs, SerialExecutor().map(run_cell, specs)))

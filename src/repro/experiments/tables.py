@@ -11,10 +11,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.experiments.datasets import BenchmarkDataset, load_dataset
-from repro.experiments.runner import MODEL_NAMES, RunResult, run_single_model
+from repro.experiments.runner import (
+    MODEL_NAMES,
+    CellSpec,
+    RunResult,
+    run_cells,
+    run_single_model,
+)
 from repro.kg.stats import CKGStats, compute_stats, render_table1
 from repro.kg.subgraphs import KnowledgeSources
 from repro.models.ckat import CKATConfig
@@ -96,16 +101,31 @@ def table2(
     models: Tuple[str, ...] = MODEL_NAMES,
     epochs: Optional[int] = None,
     seed: int = 0,
+    num_workers: int = 0,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
-    """Table II: overall performance comparison across all models."""
+    """Table II: overall performance comparison across all models.
+
+    ``num_workers > 1`` fans the independent (model × dataset) cells across
+    a process pool; every cell reseeds from its spec, so the rows are
+    identical to the serial run.
+    """
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
     results: Dict[Tuple[str, str], RunResult] = {}
-    ckgs = {ds.name: ds.build_ckg(KnowledgeSources.best()) for ds in datasets}
-    for name in models:
-        for ds in datasets:
-            results[(name, ds.name)] = run_single_model(
-                name, ds, ckg=ckgs[ds.name], epochs=epochs, seed=seed
-            )
+    if num_workers > 1:
+        specs = [
+            CellSpec(label=name, model=name, dataset=ds, epochs=epochs, seed=seed)
+            for name in models
+            for ds in datasets
+        ]
+        for spec, r in run_cells(specs, num_workers=num_workers):
+            results[(spec.model, r.dataset)] = r
+    else:
+        ckgs = {ds.name: ds.build_ckg(KnowledgeSources.best()) for ds in datasets}
+        for name in models:
+            for ds in datasets:
+                results[(name, ds.name)] = run_single_model(
+                    name, ds, ckg=ckgs[ds.name], epochs=epochs, seed=seed
+                )
     headers = ["model"]
     for ds in datasets:
         headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper", f"{ds.name} n@20 paper"]
@@ -139,15 +159,27 @@ def table3(
     datasets: Optional[List[BenchmarkDataset]] = None,
     epochs: Optional[int] = None,
     seed: int = 0,
+    num_workers: int = 0,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table III: CKAT under different knowledge-source combinations."""
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
     results: Dict[Tuple[str, str], RunResult] = {}
-    for label, sources in TABLE3_COMBINATIONS:
-        for ds in datasets:
-            results[(label, ds.name)] = run_single_model(
-                "CKAT", ds, epochs=epochs, seed=seed, sources=sources
+    if num_workers > 1:
+        specs = [
+            CellSpec(
+                label=label, model="CKAT", dataset=ds, epochs=epochs, seed=seed, sources=sources
             )
+            for label, sources in TABLE3_COMBINATIONS
+            for ds in datasets
+        ]
+        for spec, r in run_cells(specs, num_workers=num_workers):
+            results[(spec.label, r.dataset)] = r
+    else:
+        for label, sources in TABLE3_COMBINATIONS:
+            for ds in datasets:
+                results[(label, ds.name)] = run_single_model(
+                    "CKAT", ds, epochs=epochs, seed=seed, sources=sources
+                )
     headers = ["knowledge sources"]
     for ds in datasets:
         headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper"]
@@ -165,6 +197,7 @@ def table4(
     datasets: Optional[List[BenchmarkDataset]] = None,
     epochs: Optional[int] = None,
     seed: int = 0,
+    num_workers: int = 0,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table IV: attention mechanism and aggregator ablation."""
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
@@ -174,12 +207,23 @@ def table4(
         ("w/o Att + concat", CKATConfig(aggregator="concat", use_attention=False)),
     ]
     results: Dict[Tuple[str, str], RunResult] = {}
-    for ds in datasets:
-        ckg = ds.build_ckg(KnowledgeSources.best())
-        for label, cfg in variants:
-            results[(label, ds.name)] = run_single_model(
-                "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+    if num_workers > 1:
+        specs = [
+            CellSpec(
+                label=label, model="CKAT", dataset=ds, epochs=epochs, seed=seed, ckat_config=cfg
             )
+            for label, cfg in variants
+            for ds in datasets
+        ]
+        for spec, r in run_cells(specs, num_workers=num_workers):
+            results[(spec.label, r.dataset)] = r
+    else:
+        for ds in datasets:
+            ckg = ds.build_ckg(KnowledgeSources.best())
+            for label, cfg in variants:
+                results[(label, ds.name)] = run_single_model(
+                    "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+                )
     headers = ["variant"]
     for ds in datasets:
         headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper"]
@@ -197,6 +241,7 @@ def table5(
     datasets: Optional[List[BenchmarkDataset]] = None,
     epochs: Optional[int] = None,
     seed: int = 0,
+    num_workers: int = 0,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table V: propagation-layer depth L ∈ {1, 2, 3}."""
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
@@ -206,12 +251,23 @@ def table5(
         ("CKAT-3", CKATConfig(layer_dims=(64, 32, 16))),
     ]
     results: Dict[Tuple[str, str], RunResult] = {}
-    for ds in datasets:
-        ckg = ds.build_ckg(KnowledgeSources.best())
-        for label, cfg in depths:
-            results[(label, ds.name)] = run_single_model(
-                "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+    if num_workers > 1:
+        specs = [
+            CellSpec(
+                label=label, model="CKAT", dataset=ds, epochs=epochs, seed=seed, ckat_config=cfg
             )
+            for label, cfg in depths
+            for ds in datasets
+        ]
+        for spec, r in run_cells(specs, num_workers=num_workers):
+            results[(spec.label, r.dataset)] = r
+    else:
+        for ds in datasets:
+            ckg = ds.build_ckg(KnowledgeSources.best())
+            for label, cfg in depths:
+                results[(label, ds.name)] = run_single_model(
+                    "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+                )
     headers = ["depth"]
     for ds in datasets:
         headers += [f"{ds.name} r@20", f"{ds.name} n@20", f"{ds.name} r@20 paper"]

@@ -28,6 +28,7 @@ likelihood ratios) re-emerge when the analysis code in :mod:`repro.analysis`
 is run on the synthetic traces.
 """
 
+from repro.facility.affinity import AffinityModel
 from repro.facility.catalog import (
     DataObject,
     DataType,
@@ -36,13 +37,12 @@ from repro.facility.catalog import (
     InstrumentClass,
     Site,
 )
+from repro.facility.gage import GAGEConfig, build_gage_catalog
 from repro.facility.geo import GeoPoint, Region, haversine_km
 from repro.facility.ooi import OOIConfig, build_ooi_catalog
-from repro.facility.gage import GAGEConfig, build_gage_catalog
-from repro.facility.users import Organization, UserPopulation, build_user_population
-from repro.facility.affinity import AffinityModel
-from repro.facility.trace import QueryTrace, TraceGenerator, generate_trace
 from repro.facility.temporal import SessionConfig, add_session_structure
+from repro.facility.trace import QueryTrace, TraceGenerator, generate_trace
+from repro.facility.users import Organization, UserPopulation, build_user_population
 
 __all__ = [
     "GeoPoint",

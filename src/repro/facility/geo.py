@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Sequence, Tuple, Union
+from typing import Tuple, Union
 
 import numpy as np
 

@@ -15,7 +15,7 @@ hook for closing that gap in future work.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

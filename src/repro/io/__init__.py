@@ -4,13 +4,13 @@ Everything serializes to NumPy ``.npz`` archives — no pickle, so files are
 portable, inspectable, and safe to load from untrusted sources.
 """
 
+from repro.io.checkpoints import load_parameters, save_parameters
 from repro.io.datasets import (
     load_interactions,
     load_trace,
     save_interactions,
     save_trace,
 )
-from repro.io.checkpoints import load_parameters, save_parameters
 
 __all__ = [
     "save_trace",

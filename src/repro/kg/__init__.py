@@ -19,19 +19,19 @@ Modules
 - :mod:`~repro.kg.stats` — Table-I statistics.
 """
 
-from repro.kg.triples import RelationRegistry, TripleStore
-from repro.kg.subgraphs import KnowledgeSources, build_iag, build_uig, build_uug
-from repro.kg.ckg import CollaborativeKnowledgeGraph, build_ckg
 from repro.kg.adjacency import CSRAdjacency, sample_fixed_neighbors
-from repro.kg.stats import CKGStats, compute_stats
-from repro.kg.multi import MultiFacilityIndex, build_cross_facility_ckg
-from repro.kg.paths import RelationPath, explain_recommendation, find_paths
+from repro.kg.ckg import CollaborativeKnowledgeGraph, build_ckg
 from repro.kg.graph_analysis import (
     connectivity_summary,
     hop_reachability,
     item_distance_histogram,
     to_networkx,
 )
+from repro.kg.multi import MultiFacilityIndex, build_cross_facility_ckg
+from repro.kg.paths import RelationPath, explain_recommendation, find_paths
+from repro.kg.stats import CKGStats, compute_stats
+from repro.kg.subgraphs import KnowledgeSources, build_iag, build_uig, build_uug
+from repro.kg.triples import RelationRegistry, TripleStore
 
 __all__ = [
     "RelationRegistry",

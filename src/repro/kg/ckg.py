@@ -18,7 +18,7 @@ models need:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from repro.kg.subgraphs import (
     build_uug,
     city_names,
     group_names,
-    relation_source_map,
 )
 from repro.kg.triples import TripleStore
 

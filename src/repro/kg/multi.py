@@ -16,7 +16,7 @@ The result is an ordinary :class:`~repro.kg.ckg.CollaborativeKnowledgeGraph`
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

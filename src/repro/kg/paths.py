@@ -15,9 +15,8 @@ renders the shortest user→item paths as human-readable strings — the
 
 from __future__ import annotations
 
-import collections
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

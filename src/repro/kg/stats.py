@@ -11,7 +11,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict
 
-import numpy as np
 
 from repro.kg.ckg import CollaborativeKnowledgeGraph
 from repro.kg.subgraphs import INTERACT

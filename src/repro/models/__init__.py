@@ -23,16 +23,16 @@ autodiff engine in :mod:`repro.autograd`.
 """
 
 from repro.models.base import FitConfig, FitResult, Recommender
-from repro.models.embeddings import TransE, TransR
 from repro.models.bprmf import BPRMF
-from repro.models.fm import FM, ItemFeatureTable
-from repro.models.nfm import NFM
-from repro.models.cke import CKE
 from repro.models.cfkg import CFKG
-from repro.models.ripplenet import RippleNet
-from repro.models.kgcn import KGCN
 from repro.models.ckat import CKAT, CKATConfig
+from repro.models.cke import CKE
+from repro.models.embeddings import TransE, TransR
+from repro.models.fm import FM, ItemFeatureTable
+from repro.models.kgcn import KGCN
+from repro.models.nfm import NFM
 from repro.models.popularity import MostPopular, RandomRecommender
+from repro.models.ripplenet import RippleNet
 
 __all__ = [
     "Recommender",

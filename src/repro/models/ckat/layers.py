@@ -28,7 +28,6 @@ import numpy as np
 from repro.autograd import Parameter, Tensor, xavier_uniform
 from repro.autograd import functional as F
 from repro.kg.adjacency import CSRAdjacency
-from repro.utils.rng import ensure_rng
 
 __all__ = [
     "compute_edge_attention",

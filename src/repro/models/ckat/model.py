@@ -28,7 +28,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd import Adam, Parameter, Tensor, no_grad, xavier_uniform
+from repro.autograd import Adam, Parameter, Tensor, no_grad
 from repro.autograd import functional as F
 from repro.kg.adjacency import CSRAdjacency
 from repro.kg.ckg import CollaborativeKnowledgeGraph

@@ -15,7 +15,7 @@ scoring is two matrix products (see :meth:`FM.score_users`).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -12,8 +12,7 @@ from typing import List
 
 import numpy as np
 
-from repro.autograd import Parameter, Tensor
-from repro.autograd import functional as F
+from repro.autograd import Parameter
 from repro.data.interactions import InteractionDataset
 from repro.models.base import FitConfig, FitResult, Recommender
 from repro.utils.rng import ensure_rng

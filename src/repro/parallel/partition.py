@@ -17,7 +17,6 @@ them:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
 
 import numpy as np
 

@@ -1,7 +1,6 @@
 """Initializer tests: fan computation and distribution statistics."""
 
 import numpy as np
-import pytest
 
 from repro.autograd.init import fan_in_out, normal_init, xavier_normal, xavier_uniform
 

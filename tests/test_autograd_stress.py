@@ -2,7 +2,6 @@
 hypothesis-driven randomized gradient checks of composed expressions."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

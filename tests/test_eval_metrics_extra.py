@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data import InteractionDataset, TrainTestSplit
+from repro.data import InteractionDataset
 from repro.eval import RankingEvaluator
 from repro.eval.metrics import ndcg_at_k, recall_at_k
 

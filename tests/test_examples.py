@@ -8,7 +8,6 @@ runs first — is additionally executed end to end.
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -159,6 +159,7 @@ class TestFigureHarnesses:
         assert figures.ascii_curve(np.array([])) == "(empty)"
 
 
+@pytest.mark.slow
 class TestTable4And5Harnesses:
     def test_table4_small(self, small_ooi):
         results, text = tables.table4(datasets=[small_ooi], epochs=2, seed=0)

@@ -6,7 +6,6 @@ construction, models, analysis) silently relies on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# Full training loops — excluded from the fast smoke run (-m "not slow").
+pytestmark = pytest.mark.slow
+
 from repro import (
     CKAT,
     CKATConfig,

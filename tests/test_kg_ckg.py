@@ -1,7 +1,6 @@
 """CKG construction and statistics tests."""
 
 import numpy as np
-import pytest
 
 from repro.kg import KnowledgeSources, build_ckg, compute_stats
 from repro.kg.stats import PAPER_TABLE1, render_table1

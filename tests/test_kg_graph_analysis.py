@@ -1,7 +1,5 @@
 """Graph-analysis tests: networkx export, connectivity, hop reachability."""
 
-import networkx as nx
-import numpy as np
 import pytest
 
 from repro.kg.graph_analysis import (

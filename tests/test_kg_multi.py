@@ -5,7 +5,6 @@ import pytest
 
 from repro.facility.users import build_user_population
 from repro.kg import KnowledgeSources, MultiFacilityIndex, build_cross_facility_ckg
-from repro.kg.subgraphs import INTERACT
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Additional CKG statistics tests across knowledge-source variants."""
 
-import numpy as np
 import pytest
 
 from repro.kg import KnowledgeSources, build_ckg, compute_stats

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.kg.ckg import _allocate_space
 from repro.kg.subgraphs import (
     INTERACT,
     EntitySpace,
@@ -12,7 +13,6 @@ from repro.kg.subgraphs import (
     build_uug,
     relation_source_map,
 )
-from repro.kg.ckg import _allocate_space
 
 
 class TestEntitySpace:

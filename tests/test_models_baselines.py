@@ -18,7 +18,7 @@ from repro.models import (
     ItemFeatureTable,
     RippleNet,
 )
-from repro.models.base import FitConfig, Recommender, batch_l2
+from repro.models.base import FitConfig, batch_l2
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, no_grad
-from repro.kg.adjacency import CSRAdjacency
 from repro.models import CKAT, CKATConfig
 from repro.models.base import FitConfig
 from repro.models.ckat.layers import (
@@ -12,7 +11,6 @@ from repro.models.ckat.layers import (
     PropagationLayer,
     SumAggregator,
     build_weighted_adjacency,
-    compute_edge_attention,
     uniform_edge_weights,
 )
 from repro.models.embeddings import TransE, TransR, corrupt_triples

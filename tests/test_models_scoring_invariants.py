@@ -8,8 +8,8 @@ invariance, exclusion handling, and basic learned-signal sanity.
 import numpy as np
 import pytest
 
-from repro.experiments.runner import MODEL_NAMES, build_model
 from repro.experiments.datasets import load_dataset
+from repro.experiments.runner import MODEL_NAMES, build_model
 from repro.models.base import FitConfig
 
 
