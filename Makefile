@@ -1,0 +1,24 @@
+# Developer entry points. `make verify` is the local/CI gate: lint plus the
+# fast smoke suite (slow-marked tests excluded). `make test` is tier-1.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify lint smoke test
+
+verify: lint smoke
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	elif $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "warning: ruff not installed; skipping lint"; \
+	fi
+
+smoke:
+	$(PYTHON) -m pytest -q -m "not slow"
+
+test:
+	$(PYTHON) -m pytest -x -q

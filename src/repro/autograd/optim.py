@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.autograd.tensor import Parameter
 
+_STATE_VERSION = 1
+
 __all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "clip_grad_norm"]
 
 
@@ -67,6 +69,72 @@ class Optimizer:
         """Number of floats of optimizer state (for memory accounting)."""
         return 0
 
+    # --------------------------------------------------------- serialization
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        """Named per-parameter state buffers, keyed internally by ``id(p)``.
+
+        Subclasses with state (momentum, moments, accumulators) expose their
+        buffers here; the base class has none.
+        """
+        return {}
+
+    def state_dict(self) -> dict:
+        """Full optimizer state as plain arrays and scalars.
+
+        Per-parameter buffers are re-keyed from ``id(p)`` (process-local) to
+        the parameter's *position* in ``self.params``, which is stable across
+        processes as long as the model rebuilds its parameter list in the
+        same order — the same contract :mod:`repro.io.checkpoints` relies on.
+        Arrays are copied, so the snapshot is immune to further steps.
+        """
+        index = {id(p): i for i, p in enumerate(self.params)}
+        slots = {
+            name: {index[pid]: arr.copy() for pid, arr in buf.items()}
+            for name, buf in self._slots().items()
+        }
+        return {
+            "version": _STATE_VERSION,
+            "type": type(self).__name__,
+            "lr": float(self.lr),
+            "step_count": int(self.step_count),
+            "slots": slots,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (in place).
+
+        Raises ``ValueError`` if the state came from a different optimizer
+        class or if any buffer's shape does not match its parameter —
+        optimizer state only loads into the parameter list that produced it.
+        """
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, not {type(self).__name__!r}"
+            )
+        slots = self._slots()
+        expected = set(slots)
+        stored = set(state.get("slots", {}))
+        if stored - expected:
+            raise ValueError(f"unknown optimizer state slots {sorted(stored - expected)}")
+        for name, buf in slots.items():
+            loaded: Dict[int, np.ndarray] = {}
+            for idx, arr in state.get("slots", {}).get(name, {}).items():
+                idx = int(idx)
+                if not 0 <= idx < len(self.params):
+                    raise ValueError(f"optimizer state slot {name!r} indexes parameter {idx}")
+                p = self.params[idx]
+                arr = np.asarray(arr)
+                if arr.shape != p.data.shape:
+                    raise ValueError(
+                        f"optimizer state {name}[{idx}] shape {arr.shape} does not match "
+                        f"parameter shape {p.data.shape}"
+                    )
+                loaded[id(p)] = arr.astype(p.data.dtype, copy=True)
+            buf.clear()
+            buf.update(loaded)
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -101,6 +169,9 @@ class SGD(Optimizer):
 
     def state_size(self) -> int:
         return sum(v.size for v in self._velocity.values())
+
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"velocity": self._velocity}
 
 
 class Adam(Optimizer):
@@ -148,6 +219,9 @@ class Adam(Optimizer):
     def state_size(self) -> int:
         return sum(m.size for m in self._m.values()) + sum(v.size for v in self._v.values())
 
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
 
 class AdaGrad(Optimizer):
     """AdaGrad with per-coordinate accumulated squared gradients."""
@@ -177,3 +251,6 @@ class AdaGrad(Optimizer):
 
     def state_size(self) -> int:
         return sum(a.size for a in self._acc.values())
+
+    def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"acc": self._acc}

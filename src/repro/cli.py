@@ -7,9 +7,12 @@ Commands
 - ``figure <3|4|5>``          — regenerate a paper figure;
 - ``train <model> <dataset>`` — train one model, report metrics, optionally
   save a checkpoint (``--save model.npz``);
-- ``recommend <dataset> <user>`` — train CKAT and print top-K items.
+- ``recommend <dataset> <user>`` — train CKAT and print top-K items;
+- ``report <run.jsonl> ...``   — summarize JSONL run telemetry logs.
 
 Common options: ``--scale small|full``, ``--seed N``, ``--epochs N``.
+Tables II–V accept ``--log-dir`` (JSONL telemetry per cell),
+``--checkpoint-dir`` (resumable full-state checkpoints), and ``--resume``.
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it prints
 can be produced programmatically.
 """
@@ -53,6 +56,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan independent table cells across this many worker processes "
         "(Tables II–V; results are identical to the serial run)",
     )
+    p_table.add_argument(
+        "--log-dir",
+        type=str,
+        default=None,
+        help="write one JSONL telemetry log per table cell into this directory "
+        "(Tables II–V; summarize with `repro report <file>`)",
+    )
+    p_table.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="write resumable full-state training checkpoints per cell into "
+        "this directory (Tables II–V)",
+    )
+    p_table.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume each cell from its checkpoint in --checkpoint-dir when one "
+        "exists; resumed runs are bit-identical to uninterrupted ones",
+    )
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("number", type=int, choices=(3, 4, 5))
@@ -68,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("user", type=int)
     p_rec.add_argument("--k", type=int, default=10)
     p_rec.add_argument("--epochs", type=int, default=15)
+
+    p_report = sub.add_parser("report", help="summarize a JSONL run telemetry log")
+    p_report.add_argument("log", type=str, nargs="+", help="path(s) to .jsonl run logs")
     return parser
 
 
@@ -88,7 +114,14 @@ def _cmd_table(args) -> int:
         load_dataset("ooi", scale=args.scale, seed=args.seed),
         load_dataset("gage", scale=args.scale, seed=args.seed),
     ]
-    kw = dict(epochs=args.epochs, seed=args.seed, num_workers=args.workers)
+    kw = dict(
+        epochs=args.epochs,
+        seed=args.seed,
+        num_workers=args.workers,
+        log_dir=args.log_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     fn = {
         1: lambda: tables.table1(*datasets),
         2: lambda: tables.table2(datasets, **kw),
@@ -140,8 +173,18 @@ def _cmd_train(args) -> int:
         ckg = ds.build_ckg()
         model = build_model(args.model, ds, ckg, seed=args.seed)
         model.fit(ds.split.train, default_fit_config(args.model, epochs=args.epochs, seed=args.seed))
-        save_parameters(args.save, model)
-        print(f"checkpoint written to {args.save}")
+        written = save_parameters(args.save, model)
+        print(f"checkpoint written to {written}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.utils.telemetry import render_run_report
+
+    for i, path in enumerate(args.log):
+        if i:
+            print()
+        print(render_run_report(path))
     return 0
 
 
@@ -188,6 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "train": _cmd_train,
         "recommend": _cmd_recommend,
+        "report": _cmd_report,
     }[args.command]
     return handler(args)
 

@@ -20,6 +20,7 @@ model lazily on first use inside the worker.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.data.interactions import InteractionDataset
 from repro.eval.evaluator import EvaluationResult, PerUserMetrics, RankingEvaluator
 from repro.io.checkpoints import load_parameters
 from repro.parallel.executor import MapExecutor, SerialExecutor, chunk_indices
+from repro.utils.telemetry import RunLogger
 
 __all__ = ["SnapshotScorer", "EvalShard", "sharded_evaluate"]
 
@@ -91,8 +93,14 @@ class EvalShard:
     score_dtype: str
 
 
-def _evaluate_shard(shard: EvalShard) -> PerUserMetrics:
-    """Worker entry point (module-level so process pools can pickle it)."""
+def _evaluate_shard(shard: EvalShard) -> Tuple[PerUserMetrics, float]:
+    """Worker entry point (module-level so process pools can pickle it).
+
+    Returns the per-user metrics plus the shard's worker-side wall-clock,
+    measured here so process-pool timings reflect actual evaluation work,
+    not queueing.
+    """
+    start = time.perf_counter()
     evaluator = RankingEvaluator(
         shard.train,
         shard.test,
@@ -100,7 +108,8 @@ def _evaluate_shard(shard: EvalShard) -> PerUserMetrics:
         user_batch=shard.user_batch,
         score_dtype=np.dtype(shard.score_dtype),
     )
-    return evaluator.evaluate_per_user(shard.score_fn, users=shard.users)
+    metrics = evaluator.evaluate_per_user(shard.score_fn, users=shard.users)
+    return metrics, time.perf_counter() - start
 
 
 def sharded_evaluate(
@@ -109,6 +118,7 @@ def sharded_evaluate(
     num_shards: int,
     executor: Optional[MapExecutor] = None,
     users: Optional[np.ndarray] = None,
+    logger: Optional[RunLogger] = None,
 ) -> EvaluationResult:
     """Evaluate ``score_fn`` with users split across ``num_shards`` workers.
 
@@ -129,6 +139,10 @@ def sharded_evaluate(
     users:
         Optional explicit user subset (validated like
         :meth:`RankingEvaluator.evaluate`).
+    logger:
+        Optional :class:`~repro.utils.telemetry.RunLogger`; emits one
+        ``eval_shard`` event per shard (index, user count, worker-side
+        seconds) plus a closing ``eval_sharded`` total.
 
     Returns
     -------
@@ -153,5 +167,15 @@ def sharded_evaluate(
         )
         for chunk in chunk_indices(len(all_users), num_shards)
     ]
-    parts: Sequence[PerUserMetrics] = executor.map(_evaluate_shard, shards)
-    return PerUserMetrics.concatenate(parts).reduce()
+    start = time.perf_counter()
+    timed: Sequence[Tuple[PerUserMetrics, float]] = executor.map(_evaluate_shard, shards)
+    if logger is not None:
+        for i, (shard, (_, seconds)) in enumerate(zip(shards, timed)):
+            logger.log("eval_shard", shard=i, num_users=int(shard.users.size), seconds=seconds)
+        logger.log(
+            "eval_sharded",
+            num_shards=len(shards),
+            num_users=int(all_users.size),
+            seconds=time.perf_counter() - start,
+        )
+    return PerUserMetrics.concatenate([metrics for metrics, _ in timed]).reduce()

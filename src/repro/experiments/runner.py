@@ -11,6 +11,8 @@ values its grid most often selects, overridable per call).
 from __future__ import annotations
 
 import dataclasses
+import pathlib
+import re
 import time
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -31,8 +33,10 @@ from repro.models import (
     Recommender,
     RippleNet,
 )
+from repro.io.checkpoints import normalize_checkpoint_path
 from repro.models.base import FitConfig
 from repro.parallel.executor import MapExecutor, ProcessExecutor, SerialExecutor
+from repro.utils.telemetry import RunLogger
 
 __all__ = [
     "MODEL_NAMES",
@@ -123,6 +127,11 @@ class RunResult:
         return [self.model, self.recall, self.ndcg]
 
 
+def _run_slug(label: str, dataset_name: str) -> str:
+    """Filesystem-safe per-run file stem (labels may hold spaces, '/', '+')."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", f"{label}_{dataset_name}").strip("_")
+
+
 def run_single_model(
     name: str,
     dataset: BenchmarkDataset,
@@ -133,12 +142,23 @@ def run_single_model(
     ckat_config: Optional[CKATConfig] = None,
     sources: KnowledgeSources = KnowledgeSources.best(),
     best_epoch_selection: bool = True,
+    label: Optional[str] = None,
+    log_dir: Optional[pathlib.Path] = None,
+    checkpoint_dir: Optional[pathlib.Path] = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
 ) -> RunResult:
     """Train one model on ``dataset`` and evaluate recall@K / ndcg@K.
 
     ``best_epoch_selection`` enables the KGAT-style protocol: evaluate every
     10 epochs and keep the best-recall snapshot (all models get the same
     treatment, so the comparison stays fair).
+
+    ``log_dir`` turns on JSONL telemetry (one ``<label>_<dataset>.jsonl``
+    per run); ``checkpoint_dir`` turns on periodic full-state checkpoints
+    every ``checkpoint_every`` epochs, and ``resume=True`` restarts from the
+    run's checkpoint when one exists — producing the same parameters as an
+    uninterrupted run (see :meth:`repro.models.base.Recommender.fit`).
     """
     if ckg is None:
         ckg = dataset.build_ckg(sources)
@@ -150,16 +170,53 @@ def run_single_model(
         fit_cfg.eval_every = 10
         fit_cfg.keep_best_metric = f"recall@{k}"
         eval_callback = lambda: evaluator.evaluate(model.score_users).as_dict()  # noqa: E731
-    fit = model.fit(dataset.split.train, fit_cfg, eval_callback=eval_callback)
-    t0 = time.perf_counter()
-    result = evaluator.evaluate(model.score_users)
+    slug = _run_slug(label or name, dataset.name)
+    logger = None
+    if log_dir is not None:
+        logger = RunLogger(pathlib.Path(log_dir) / f"{slug}.jsonl", run_id=slug)
+    checkpoint_path = None
+    resume_from = None
+    if checkpoint_dir is not None:
+        checkpoint_path = pathlib.Path(checkpoint_dir) / f"{slug}.ckpt.npz"
+        checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and normalize_checkpoint_path(checkpoint_path).exists():
+            resume_from = checkpoint_path
+    try:
+        if logger is not None:
+            logger.log("cell_start", label=label or name, model=name, dataset=dataset.name)
+        fit = model.fit(
+            dataset.split.train,
+            fit_cfg,
+            eval_callback=eval_callback,
+            checkpoint_every=checkpoint_every if checkpoint_path is not None else 0,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+            logger=logger,
+        )
+        t0 = time.perf_counter()
+        result = evaluator.evaluate(model.score_users)
+        eval_seconds = time.perf_counter() - t0
+        if logger is not None:
+            logger.log(
+                "cell_end",
+                label=label or name,
+                model=name,
+                dataset=dataset.name,
+                recall=result.recall,
+                ndcg=result.ndcg,
+                train_seconds=fit.seconds,
+                eval_seconds=eval_seconds,
+            )
+    finally:
+        if logger is not None:
+            logger.close()
     return RunResult(
         model=name,
         dataset=dataset.name,
         recall=result.recall,
         ndcg=result.ndcg,
         train_seconds=fit.seconds,
-        eval_seconds=time.perf_counter() - t0,
+        eval_seconds=eval_seconds,
         final_loss=fit.final_loss,
     )
 
@@ -191,6 +248,10 @@ class CellSpec:
     sources: KnowledgeSources = KnowledgeSources.best()
     ckat_config: Optional[CKATConfig] = None
     best_epoch_selection: bool = True
+    log_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 10
+    resume: bool = False
 
 
 def run_cell(spec: CellSpec) -> RunResult:
@@ -207,6 +268,11 @@ def run_cell(spec: CellSpec) -> RunResult:
         ckat_config=spec.ckat_config,
         sources=spec.sources,
         best_epoch_selection=spec.best_epoch_selection,
+        label=spec.label,
+        log_dir=pathlib.Path(spec.log_dir) if spec.log_dir else None,
+        checkpoint_dir=pathlib.Path(spec.checkpoint_dir) if spec.checkpoint_dir else None,
+        checkpoint_every=spec.checkpoint_every,
+        resume=spec.resume,
     )
 
 

@@ -9,7 +9,8 @@ concat / depth help — can be compared directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
 
 
 from repro.experiments.datasets import BenchmarkDataset, load_dataset
@@ -71,6 +72,20 @@ PAPER_TABLE5: Dict[str, Dict[str, Tuple[float, float]]] = {
     "CKAT-3": {"ooi": (0.3217, 0.2561), "gage": (0.3919, 0.3278)},
 }
 
+PathLike = Union[str, pathlib.Path]
+
+
+def _telemetry_kw(
+    log_dir: Optional[PathLike], checkpoint_dir: Optional[PathLike], resume: bool
+) -> dict:
+    """Per-run telemetry/checkpoint kwargs shared by all table harnesses."""
+    return {
+        "log_dir": pathlib.Path(log_dir) if log_dir else None,
+        "checkpoint_dir": pathlib.Path(checkpoint_dir) if checkpoint_dir else None,
+        "resume": resume,
+    }
+
+
 # Table-III knowledge-source combinations, in paper row order.
 TABLE3_COMBINATIONS: List[Tuple[str, KnowledgeSources]] = [
     ("UIG+LOC", KnowledgeSources(uug=False, loc=True, dkg=False, md=False)),
@@ -102,18 +117,32 @@ def table2(
     epochs: Optional[int] = None,
     seed: int = 0,
     num_workers: int = 0,
+    log_dir: Optional[PathLike] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    resume: bool = False,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table II: overall performance comparison across all models.
 
     ``num_workers > 1`` fans the independent (model × dataset) cells across
     a process pool; every cell reseeds from its spec, so the rows are
-    identical to the serial run.
+    identical to the serial run.  ``log_dir``/``checkpoint_dir``/``resume``
+    enable per-cell JSONL telemetry and resumable training checkpoints.
     """
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
     results: Dict[Tuple[str, str], RunResult] = {}
+    telemetry = _telemetry_kw(log_dir, checkpoint_dir, resume)
     if num_workers > 1:
         specs = [
-            CellSpec(label=name, model=name, dataset=ds, epochs=epochs, seed=seed)
+            CellSpec(
+                label=name,
+                model=name,
+                dataset=ds,
+                epochs=epochs,
+                seed=seed,
+                log_dir=str(log_dir) if log_dir else None,
+                checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+                resume=resume,
+            )
             for name in models
             for ds in datasets
         ]
@@ -124,7 +153,7 @@ def table2(
         for name in models:
             for ds in datasets:
                 results[(name, ds.name)] = run_single_model(
-                    name, ds, ckg=ckgs[ds.name], epochs=epochs, seed=seed
+                    name, ds, ckg=ckgs[ds.name], epochs=epochs, seed=seed, **telemetry
                 )
     headers = ["model"]
     for ds in datasets:
@@ -160,14 +189,26 @@ def table3(
     epochs: Optional[int] = None,
     seed: int = 0,
     num_workers: int = 0,
+    log_dir: Optional[PathLike] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    resume: bool = False,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table III: CKAT under different knowledge-source combinations."""
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
     results: Dict[Tuple[str, str], RunResult] = {}
+    telemetry = _telemetry_kw(log_dir, checkpoint_dir, resume)
     if num_workers > 1:
         specs = [
             CellSpec(
-                label=label, model="CKAT", dataset=ds, epochs=epochs, seed=seed, sources=sources
+                label=label,
+                model="CKAT",
+                dataset=ds,
+                epochs=epochs,
+                seed=seed,
+                sources=sources,
+                log_dir=str(log_dir) if log_dir else None,
+                checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+                resume=resume,
             )
             for label, sources in TABLE3_COMBINATIONS
             for ds in datasets
@@ -178,7 +219,7 @@ def table3(
         for label, sources in TABLE3_COMBINATIONS:
             for ds in datasets:
                 results[(label, ds.name)] = run_single_model(
-                    "CKAT", ds, epochs=epochs, seed=seed, sources=sources
+                    "CKAT", ds, epochs=epochs, seed=seed, sources=sources, label=label, **telemetry
                 )
     headers = ["knowledge sources"]
     for ds in datasets:
@@ -198,6 +239,9 @@ def table4(
     epochs: Optional[int] = None,
     seed: int = 0,
     num_workers: int = 0,
+    log_dir: Optional[PathLike] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    resume: bool = False,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table IV: attention mechanism and aggregator ablation."""
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
@@ -207,10 +251,19 @@ def table4(
         ("w/o Att + concat", CKATConfig(aggregator="concat", use_attention=False)),
     ]
     results: Dict[Tuple[str, str], RunResult] = {}
+    telemetry = _telemetry_kw(log_dir, checkpoint_dir, resume)
     if num_workers > 1:
         specs = [
             CellSpec(
-                label=label, model="CKAT", dataset=ds, epochs=epochs, seed=seed, ckat_config=cfg
+                label=label,
+                model="CKAT",
+                dataset=ds,
+                epochs=epochs,
+                seed=seed,
+                ckat_config=cfg,
+                log_dir=str(log_dir) if log_dir else None,
+                checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+                resume=resume,
             )
             for label, cfg in variants
             for ds in datasets
@@ -222,7 +275,14 @@ def table4(
             ckg = ds.build_ckg(KnowledgeSources.best())
             for label, cfg in variants:
                 results[(label, ds.name)] = run_single_model(
-                    "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+                    "CKAT",
+                    ds,
+                    ckg=ckg,
+                    epochs=epochs,
+                    seed=seed,
+                    ckat_config=cfg,
+                    label=label,
+                    **telemetry,
                 )
     headers = ["variant"]
     for ds in datasets:
@@ -242,6 +302,9 @@ def table5(
     epochs: Optional[int] = None,
     seed: int = 0,
     num_workers: int = 0,
+    log_dir: Optional[PathLike] = None,
+    checkpoint_dir: Optional[PathLike] = None,
+    resume: bool = False,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], str]:
     """Table V: propagation-layer depth L ∈ {1, 2, 3}."""
     datasets = datasets or [load_dataset("ooi"), load_dataset("gage")]
@@ -251,10 +314,19 @@ def table5(
         ("CKAT-3", CKATConfig(layer_dims=(64, 32, 16))),
     ]
     results: Dict[Tuple[str, str], RunResult] = {}
+    telemetry = _telemetry_kw(log_dir, checkpoint_dir, resume)
     if num_workers > 1:
         specs = [
             CellSpec(
-                label=label, model="CKAT", dataset=ds, epochs=epochs, seed=seed, ckat_config=cfg
+                label=label,
+                model="CKAT",
+                dataset=ds,
+                epochs=epochs,
+                seed=seed,
+                ckat_config=cfg,
+                log_dir=str(log_dir) if log_dir else None,
+                checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
+                resume=resume,
             )
             for label, cfg in depths
             for ds in datasets
@@ -266,7 +338,14 @@ def table5(
             ckg = ds.build_ckg(KnowledgeSources.best())
             for label, cfg in depths:
                 results[(label, ds.name)] = run_single_model(
-                    "CKAT", ds, ckg=ckg, epochs=epochs, seed=seed, ckat_config=cfg
+                    "CKAT",
+                    ds,
+                    ckg=ckg,
+                    epochs=epochs,
+                    seed=seed,
+                    ckat_config=cfg,
+                    label=label,
+                    **telemetry,
                 )
     headers = ["depth"]
     for ds in datasets:

@@ -4,7 +4,14 @@ Everything serializes to NumPy ``.npz`` archives — no pickle, so files are
 portable, inspectable, and safe to load from untrusted sources.
 """
 
-from repro.io.checkpoints import load_parameters, save_parameters
+from repro.io.checkpoints import (
+    TrainingCheckpoint,
+    load_parameters,
+    load_training_checkpoint,
+    normalize_checkpoint_path,
+    save_parameters,
+    save_training_checkpoint,
+)
 from repro.io.datasets import (
     load_interactions,
     load_trace,
@@ -19,4 +26,8 @@ __all__ = [
     "load_interactions",
     "save_parameters",
     "load_parameters",
+    "normalize_checkpoint_path",
+    "TrainingCheckpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
 ]

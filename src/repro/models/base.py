@@ -17,8 +17,9 @@ the KGAT training schedule.
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 import time
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -26,9 +27,18 @@ from repro.autograd import Adam, Parameter, Tensor
 from repro.autograd import functional as F
 from repro.data.interactions import InteractionDataset
 from repro.data.sampling import BPRSampler
+from repro.io.checkpoints import (
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    parameter_keys,
+    save_training_checkpoint,
+)
 from repro.utils.rng import ensure_rng
+from repro.utils.telemetry import RunLogger
 
 __all__ = ["FitConfig", "FitResult", "Recommender", "batch_l2"]
+
+PathLike = Union[str, pathlib.Path]
 
 
 def batch_l2(*tensors: Tensor) -> Tensor:
@@ -70,6 +80,25 @@ class FitConfig:
             raise ValueError("lr must be positive")
         if self.l2 < 0:
             raise ValueError("l2 must be nonnegative")
+        if self.eval_every < 0:
+            raise ValueError(f"eval_every must be >= 0, got {self.eval_every}")
+        if self.keep_best_metric and self.eval_every <= 0:
+            raise ValueError(
+                "keep_best_metric requires eval_every > 0 — without evaluations no "
+                "snapshot is ever taken, silently corrupting best-epoch results"
+            )
+
+    def fingerprint(self) -> dict:
+        """The fields a resumed run must match for bit-identical replay."""
+        return {
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "l2": self.l2,
+            "seed": self.seed,
+            "eval_every": self.eval_every,
+            "keep_best_metric": self.keep_best_metric,
+        }
 
 
 @dataclasses.dataclass
@@ -125,11 +154,64 @@ class Recommender:
         """Hook invoked after each epoch (CKAT refreshes attention here)."""
 
     # ------------------------------------------------------------- training
+    def _restore_checkpoint(
+        self,
+        ckpt: TrainingCheckpoint,
+        config: FitConfig,
+        params: List[Parameter],
+        keys: List[str],
+        optimizer: Adam,
+        rng: np.random.Generator,
+    ) -> None:
+        """Load a :class:`TrainingCheckpoint` into live training state.
+
+        Validates that the checkpoint matches both the architecture (same
+        parameter keys and shapes) and the replay-relevant config fields —
+        resuming under a different batch size, learning rate, or seed could
+        not possibly reproduce the uninterrupted run, so it raises instead.
+        """
+        fp = config.fingerprint()
+        saved = ckpt.config
+        mismatched = {
+            k: (saved.get(k), fp[k]) for k in fp if k != "epochs" and saved.get(k) != fp[k]
+        }
+        if mismatched:
+            raise ValueError(
+                f"cannot resume: config mismatch {mismatched} (checkpoint vs current); "
+                "resume-exactness requires identical training configuration"
+            )
+        if config.epochs < ckpt.epoch:
+            raise ValueError(
+                f"cannot resume: checkpoint has {ckpt.epoch} completed epochs but the "
+                f"config only trains {config.epochs}"
+            )
+        if set(ckpt.params) != set(keys):
+            raise ValueError(
+                f"cannot resume: parameter set mismatch (checkpoint {sorted(ckpt.params)}, "
+                f"model {sorted(keys)})"
+            )
+        for key, p in zip(keys, params):
+            arr = ckpt.params[key]
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"cannot resume: shape mismatch for {key}: "
+                    f"checkpoint {arr.shape} vs model {p.data.shape}"
+                )
+            p.data[...] = arr
+        optimizer.load_state_dict(ckpt.optimizer_state)
+        rng.bit_generator.state = ckpt.rng_state
+        self.on_epoch_end()  # rebuild derived state (e.g. CKAT attention) from params
+
     def fit(
         self,
         train: InteractionDataset,
         config: Optional[FitConfig] = None,
         eval_callback: Optional[Callable[[], dict]] = None,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[PathLike] = None,
+        resume_from: Optional[PathLike] = None,
+        logger: Optional[RunLogger] = None,
     ) -> FitResult:
         """Train with epoch-wise BPR minibatches and Adam.
 
@@ -142,6 +224,22 @@ class Recommender:
         eval_callback:
             Optional callable returning a metrics dict, invoked every
             ``config.eval_every`` epochs (and recorded in the result).
+        checkpoint_every:
+            If >0, write a full :class:`~repro.io.checkpoints.TrainingCheckpoint`
+            (parameters, Adam moments, RNG state, histories, best snapshot) to
+            ``checkpoint_path`` every this many epochs.
+        checkpoint_path:
+            Destination for periodic checkpoints (overwritten atomically each
+            time); required when ``checkpoint_every > 0``.
+        resume_from:
+            Resume a killed run from this checkpoint.  The restored run is
+            **bit-identical** to the uninterrupted one: all training
+            randomness flows through the single generator whose state the
+            checkpoint captured, so replaying epochs ``[epoch, epochs)`` on
+            the restored parameters/moments reproduces the exact arrays.
+        logger:
+            Optional :class:`~repro.utils.telemetry.RunLogger`; emits one
+            JSONL event per epoch plus run/eval/checkpoint events.
         """
         config = config or FitConfig()
         if train.num_users != self.num_users or train.num_items != self.num_items:
@@ -149,17 +247,53 @@ class Recommender:
                 f"dataset shape ({train.num_users}×{train.num_items}) does not match model "
                 f"({self.num_users}×{self.num_items})"
             )
+        if config.eval_every < 0:
+            raise ValueError(f"eval_every must be >= 0, got {config.eval_every}")
+        if config.keep_best_metric and (config.eval_every <= 0 or eval_callback is None):
+            raise ValueError(
+                "keep_best_metric requires eval_every > 0 and an eval_callback — "
+                "without both no snapshot is ever taken, silently corrupting "
+                "best-epoch results"
+            )
+        if checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_path")
         rng = ensure_rng(config.seed)
         sampler = BPRSampler(train)
         params = self.parameters()
+        keys = parameter_keys(params)
         optimizer = Adam(params, lr=config.lr)
         losses: List[float] = []
         extra_losses: List[float] = []
         eval_history: List[dict] = []
         best_score = -np.inf
         best_snapshot: Optional[List[np.ndarray]] = None
+        start_epoch = 0
+        base_seconds = 0.0
+        if resume_from is not None:
+            ckpt = load_training_checkpoint(resume_from)
+            self._restore_checkpoint(ckpt, config, params, keys, optimizer, rng)
+            losses = list(ckpt.losses)
+            extra_losses = list(ckpt.extra_losses)
+            eval_history = list(ckpt.eval_history)
+            best_score = ckpt.best_score
+            if ckpt.best_snapshot is not None:
+                best_snapshot = [ckpt.best_snapshot[key].copy() for key in keys]
+            start_epoch = ckpt.epoch
+            base_seconds = ckpt.seconds
+            if logger is not None:
+                logger.log("resume", epoch=start_epoch, path=str(resume_from))
         start = time.perf_counter()
-        for epoch in range(config.epochs):
+        if logger is not None:
+            logger.log(
+                "run_start",
+                model=self.name,
+                start_epoch=start_epoch,
+                **config.fingerprint(),
+            )
+        for epoch in range(start_epoch, config.epochs):
+            epoch_start = time.perf_counter()
             extra = self.extra_epoch_step(optimizer, rng, config)
             extra_losses.append(extra)
             epoch_loss, n_batches = 0.0, 0
@@ -172,6 +306,14 @@ class Recommender:
                 n_batches += 1
             losses.append(epoch_loss / max(n_batches, 1))
             self.on_epoch_end()
+            if logger is not None:
+                logger.log(
+                    "epoch",
+                    epoch=epoch + 1,
+                    loss=losses[-1],
+                    aux_loss=extra,
+                    seconds=time.perf_counter() - epoch_start,
+                )
             if config.verbose:
                 msg = f"[{self.name}] epoch {epoch + 1}/{config.epochs} loss={losses[-1]:.4f}"
                 if extra:
@@ -181,6 +323,8 @@ class Recommender:
                 metrics = eval_callback()
                 metrics["epoch"] = epoch + 1
                 eval_history.append(metrics)
+                if logger is not None:
+                    logger.log("eval", **metrics)
                 if config.verbose:
                     print(f"[{self.name}]   eval: {metrics}")
                 if config.keep_best_metric:
@@ -193,14 +337,46 @@ class Recommender:
                     if score > best_score:
                         best_score = score
                         best_snapshot = [p.data.copy() for p in params]
+                        if logger is not None:
+                            logger.log("best_snapshot", epoch=epoch + 1, score=float(score))
+            if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
+                ckpt = TrainingCheckpoint(
+                    epoch=epoch + 1,
+                    params={key: p.data.copy() for key, p in zip(keys, params)},
+                    optimizer_state=optimizer.state_dict(),
+                    rng_state=rng.bit_generator.state,
+                    losses=list(losses),
+                    extra_losses=list(extra_losses),
+                    eval_history=list(eval_history),
+                    best_score=float(best_score),
+                    best_snapshot=(
+                        {key: arr.copy() for key, arr in zip(keys, best_snapshot)}
+                        if best_snapshot is not None
+                        else None
+                    ),
+                    seconds=base_seconds + (time.perf_counter() - start),
+                    config=config.fingerprint(),
+                )
+                written = save_training_checkpoint(checkpoint_path, ckpt)
+                if logger is not None:
+                    logger.log("checkpoint", epoch=epoch + 1, path=str(written))
         if best_snapshot is not None:
             for p, data in zip(params, best_snapshot):
                 p.data[...] = data
             self.on_epoch_end()  # refresh derived state (e.g. CKAT attention)
+        seconds = base_seconds + (time.perf_counter() - start)
+        if logger is not None:
+            logger.log(
+                "run_end",
+                model=self.name,
+                epochs=config.epochs,
+                seconds=seconds,
+                final_loss=losses[-1] if losses else None,
+            )
         return FitResult(
             losses=losses,
             extra_losses=extra_losses,
-            seconds=time.perf_counter() - start,
+            seconds=seconds,
             eval_history=eval_history,
         )
 
@@ -214,6 +390,12 @@ class Recommender:
         scores = self.score_users(np.array([user]))[0].astype(np.float64, copy=True)
         if exclude is not None and len(exclude):
             scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
-        k = min(k, self.num_items)
+        # Clamp to the number of rankable candidates: with a large exclude
+        # set, argpartition on the raw k would let -inf-masked ids survive
+        # into the output.
+        k = min(k, int(np.count_nonzero(scores > -np.inf)))
+        if k == 0:
+            return np.array([], dtype=np.int64)
         top = np.argpartition(-scores, k - 1)[:k]
-        return top[np.argsort(-scores[top], kind="stable")]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return top[scores[top] > -np.inf]

@@ -1,7 +1,8 @@
-"""Shared utilities: RNG plumbing, timing, text tables, validation helpers."""
+"""Shared utilities: RNG plumbing, timing, telemetry, text tables, validation."""
 
 from repro.utils.rng import ensure_rng, spawn_rngs, SeedSequenceFactory
 from repro.utils.tables import TextTable, format_float
+from repro.utils.telemetry import RunLogger, read_run_log, render_run_report, summarize_run
 from repro.utils.timing import Timer
 from repro.utils.validation import check_positive, check_probability, check_in_choices
 
@@ -12,6 +13,10 @@ __all__ = [
     "TextTable",
     "format_float",
     "Timer",
+    "RunLogger",
+    "read_run_log",
+    "summarize_run",
+    "render_run_report",
     "check_positive",
     "check_probability",
     "check_in_choices",

@@ -55,6 +55,15 @@ class Timer:
         """All section names recorded so far."""
         return list(self._totals)
 
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{name: {"seconds": total, "count": entries}}`` — the shape the
+        telemetry JSONL events embed, so logs stay schema-stable as sections
+        are added."""
+        return {
+            name: {"seconds": self._totals[name], "count": self._counts[name]}
+            for name in self._totals
+        }
+
     def summary(self) -> str:
         """Human-readable multi-line summary sorted by total time."""
         lines = []

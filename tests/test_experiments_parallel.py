@@ -68,6 +68,30 @@ class TestRunCells:
             assert s.final_loss == p.final_loss
 
 
+    def test_process_fanout_with_telemetry(self, small_ooi, tmp_path):
+        """Worker processes write per-cell JSONL logs and checkpoints."""
+        from repro.utils.telemetry import read_run_log
+
+        specs = [
+            CellSpec(
+                label=label,
+                model="BPRMF",
+                dataset=small_ooi,
+                epochs=1,
+                seed=seed,
+                log_dir=str(tmp_path / "logs"),
+                checkpoint_dir=str(tmp_path / "ckpts"),
+                checkpoint_every=1,
+            )
+            for label, seed in (("a", 0), ("b", 1))
+        ]
+        run_cells(specs, num_workers=2)
+        for label in ("a", "b"):
+            events = read_run_log(tmp_path / "logs" / f"{label}_ooi.jsonl")
+            assert [e["event"] for e in events].count("epoch") == 1
+            assert (tmp_path / "ckpts" / f"{label}_ooi.ckpt.npz").exists()
+
+
 @pytest.mark.slow
 def test_table2_parallel_rows_identical(small_ooi):
     """Acceptance check: reduced Table II grid, parallel == serial."""
