@@ -1,24 +1,40 @@
-# Developer entry points. `make verify` is the local/CI gate: lint plus the
-# fast smoke suite (slow-marked tests excluded). `make test` is tier-1.
+# Developer entry points. `make verify` is the local/CI gate: lint (reprolint
+# + ruff) and typecheck plus the fast smoke suite (slow-marked tests
+# excluded). `make test` is tier-1.
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint smoke test
+.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke
 
-verify: lint smoke
+verify: lint typecheck smoke
 
-lint:
+lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check .; \
 	elif $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check .; \
 	else \
-		echo "warning: ruff not installed; skipping lint"; \
+		echo "warning: ruff not installed; skipping ruff lint"; \
+	fi
+
+reprolint:
+	$(PYTHON) -m repro.cli lint src
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	elif $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "warning: mypy not installed; skipping typecheck"; \
 	fi
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
+
+sanitize-smoke:
+	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2
 
 test:
 	$(PYTHON) -m pytest -x -q

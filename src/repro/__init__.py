@@ -27,6 +27,7 @@ Quickstart
 >>> print(result.recall, result.ndcg)  # doctest: +SKIP
 """
 
+from repro.analysis.sanitizer import install_from_env as _install_sanitizer_from_env
 from repro.eval import RankingEvaluator
 from repro.experiments.datasets import BenchmarkDataset, load_dataset
 from repro.experiments.runner import MODEL_NAMES, build_model, run_single_model
@@ -45,6 +46,10 @@ from repro.models import (
 )
 
 __version__ = "0.1.0"
+
+# Honor REPRO_SANITIZE=1: instrument the autograd engine for NaN/Inf, shape,
+# and dtype-upcast detection (see repro.analysis.sanitizer).
+_install_sanitizer_from_env()
 
 __all__ = [
     "__version__",

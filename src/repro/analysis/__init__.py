@@ -6,9 +6,17 @@
   Fig-4 per-organization embedding of heavy users' queried objects;
 - :mod:`~repro.analysis.locality` — the Fig-5 paired-user study (same-city
   vs random pairs) and the Section III-B2 query-concentration statistics.
+
+The subpackage also hosts the reproduction's self-analysis tooling:
+
+- :mod:`~repro.analysis.lint` — reprolint, the project-aware static analyzer
+  (``repro lint``);
+- :mod:`~repro.analysis.sanitizer` — the runtime numeric sanitizer
+  (``REPRO_SANITIZE=1`` / ``repro sanitize-run``).
 """
 
 from repro.analysis.distributions import UserQueryDistributions, compute_distributions
+from repro.analysis.sanitizer import SanitizerError, sanitized
 from repro.analysis.locality import (
     PairStudyResult,
     pair_similarity_study,
@@ -28,4 +36,6 @@ __all__ = [
     "tsne_embed_user_queries",
     "FacilityReport",
     "facility_report",
+    "SanitizerError",
+    "sanitized",
 ]

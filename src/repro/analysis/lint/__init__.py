@@ -1,0 +1,54 @@
+"""reprolint — project-aware static analysis for the reproduction.
+
+An AST-based lint engine with rules encoding this repository's correctness
+invariants: seeded randomness threading (RPL001/RPL002), no wall-clock in
+result paths (RPL003), explicit dtypes on the float32 fast path (RPL004),
+pickle-free persistence (RPL005), no mutable defaults (RPL006), and
+tape-safe ``Tensor.data`` mutation (RPL007).  See DESIGN.md for the rationale
+behind each rule and README for CLI usage (``repro lint``).
+
+Suppress a finding inline with ``# reprolint: disable=RPL00x`` on its line.
+"""
+
+from repro.analysis.lint.context import DEFAULT_CONFIG, LintConfig
+from repro.analysis.lint.engine import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL_ERROR,
+    LintReport,
+    collect_files,
+    lint_file,
+    lint_source,
+    run_lint,
+)
+from repro.analysis.lint.findings import (
+    SCHEMA_VERSION,
+    Finding,
+    render_json,
+    render_text,
+    summarize,
+)
+from repro.analysis.lint.registry import all_rules, known_codes, register
+from repro.analysis.lint.rules.base import Rule
+
+__all__ = [
+    "LintConfig",
+    "DEFAULT_CONFIG",
+    "LintReport",
+    "Finding",
+    "Rule",
+    "register",
+    "all_rules",
+    "known_codes",
+    "lint_source",
+    "lint_file",
+    "collect_files",
+    "run_lint",
+    "render_text",
+    "render_json",
+    "summarize",
+    "SCHEMA_VERSION",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL_ERROR",
+]

@@ -1,0 +1,157 @@
+"""Per-file lint state shared by all rules.
+
+:class:`LintContext` carries everything a rule may consult while the engine
+walks one module's AST:
+
+- the (posix-normalized) file path and the :class:`LintConfig` path policy;
+- an import-alias table mapping local names to dotted module paths, so rules
+  match **fully-qualified** targets (``numpy.random.default_rng``,
+  ``time.time``) regardless of how the file spelled the import;
+- the lexical stacks the engine maintains during the walk (enclosing
+  functions/classes, ``with no_grad():`` nesting depth);
+- the findings accumulator.
+
+Rules never inspect raw import statements themselves — they call
+:meth:`LintContext.qualname` and compare against dotted names.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["LintConfig", "LintContext", "DEFAULT_CONFIG"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Path policy and rule selection for one lint run.
+
+    Path fields are substring matches against the posix-normalized file path;
+    an empty tuple disables the corresponding gate.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    """Rule codes to run; ``None`` runs every registered rule."""
+
+    exempt_paths: Tuple[str, ...] = ("tests/", "fixtures/", "conftest")
+    """Paths where the randomness rules (RPL001/RPL002) do not apply: test
+    and fixture code may pin seeds or use throwaway generators freely."""
+
+    dtype_paths: Tuple[str, ...] = ("models/", "autograd/", "eval/")
+    """Paths on the float32-sensitive fast path where RPL004 requires every
+    array-creating call to pass an explicit ``dtype``."""
+
+    wallclock_paths: Tuple[str, ...] = ("models/", "autograd/", "eval/")
+    """Paths feeding reported results, where RPL003 forbids wall-clock reads
+    (``time.perf_counter`` for duration telemetry remains allowed)."""
+
+
+DEFAULT_CONFIG = LintConfig()
+
+
+def _matches(path: str, needles: Tuple[str, ...]) -> bool:
+    return any(n in path for n in needles)
+
+
+class LintContext:
+    """Mutable per-file state handed to every rule invocation."""
+
+    def __init__(self, path: str, tree: ast.AST, config: LintConfig = DEFAULT_CONFIG):
+        self.path = path.replace("\\", "/")
+        self.config = config
+        self.findings: List[Finding] = []
+        #: local name -> dotted path, e.g. {"np": "numpy",
+        #: "default_rng": "numpy.random.default_rng", "dt": "datetime.datetime"}
+        self.aliases: Dict[str, str] = {}
+        #: lexical stacks, maintained by the engine's walker
+        self.function_stack: List[ast.AST] = []
+        self.class_stack: List[ast.ClassDef] = []
+        self.nograd_depth: int = 0
+        #: ids of Call.func nodes, so attribute rules can skip expressions
+        #: already examined as call targets (avoids double reports).
+        self.call_func_ids: Set[int] = set()
+        self._collect_imports(tree)
+
+    # ----------------------------------------------------------- path policy
+    @property
+    def in_exempt_path(self) -> bool:
+        return _matches(self.path, self.config.exempt_paths)
+
+    @property
+    def in_dtype_path(self) -> bool:
+        return _matches(self.path, self.config.dtype_paths)
+
+    @property
+    def in_wallclock_path(self) -> bool:
+        return _matches(self.path, self.config.wallclock_paths)
+
+    # -------------------------------------------------------------- lexical
+    @property
+    def enclosing_function(self) -> Optional[ast.AST]:
+        return self.function_stack[-1] if self.function_stack else None
+
+    @property
+    def in_no_grad(self) -> bool:
+        return self.nograd_depth > 0
+
+    def in_init_method(self) -> bool:
+        """True when the innermost enclosing function is ``__init__`` of a class."""
+        fn = self.enclosing_function
+        return (
+            fn is not None
+            and getattr(fn, "name", "") == "__init__"
+            and bool(self.class_stack)
+        )
+
+    # ------------------------------------------------------------ reporting
+    def report(self, rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=rule.code,
+                message=message,
+                rule=rule.name,
+            )
+        )
+
+    # ------------------------------------------------------- name resolution
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    # ``import numpy.random`` binds "numpy" but also makes the
+                    # full dotted path resolvable through it; the attribute
+                    # walk in qualname() covers that case.
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports cannot be external modules
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Resolve an expression to a dotted path via the import table.
+
+        ``np.random.default_rng`` → ``"numpy.random.default_rng"`` when the
+        file did ``import numpy as np``; returns ``None`` for expressions
+        whose root is not an imported name.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))

@@ -1,0 +1,178 @@
+"""The reprolint engine: file discovery, AST walking, rule dispatch.
+
+One :func:`lint_source` call parses a module once, builds a
+:class:`~repro.analysis.lint.context.LintContext`, and performs a single AST
+walk.  The walker maintains the lexical state rules rely on (enclosing
+function/class stacks, ``with no_grad():`` depth) and dispatches each node to
+the rules subscribed to its type, so the cost of a lint run is one parse and
+one walk per file regardless of how many rules are active.
+
+Exit-code contract (consumed by ``make verify`` and CI):
+
+- **0** — clean (no findings),
+- **1** — findings reported,
+- **2** — internal error (bad rule selection, unreadable path, engine bug).
+
+A *syntax error in a linted file* is a finding (``RPL000``), not an internal
+error: a broken file in the tree is the tree's problem, and CI should report
+it like any other violation instead of crashing.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+from repro.analysis.lint.context import DEFAULT_CONFIG, LintConfig, LintContext
+from repro.analysis.lint.findings import PARSE_ERROR_CODE, Finding
+from repro.analysis.lint.registry import rules_for
+from repro.analysis.lint.rules.base import Rule
+from repro.analysis.lint.suppressions import apply_suppressions, parse_suppressions
+
+__all__ = ["LintReport", "lint_source", "lint_file", "collect_files", "run_lint"]
+
+PathLike = Union[str, pathlib.Path]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint run over a set of paths."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+class _Walker:
+    """Single-pass AST walker maintaining lexical state and dispatching rules."""
+
+    def __init__(self, ctx: LintContext, dispatch: Dict[Type[ast.AST], List[Rule]]):
+        self.ctx = ctx
+        self.dispatch = dispatch
+
+    def walk(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        if isinstance(node, ast.Call):
+            ctx.call_func_ids.add(id(node.func))
+        for rule in self.dispatch.get(type(node), ()):
+            rule.check(node, ctx)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            ctx.function_stack.append(node)
+            self._walk_children(node)
+            ctx.function_stack.pop()
+        elif isinstance(node, ast.ClassDef):
+            ctx.class_stack.append(node)
+            self._walk_children(node)
+            ctx.class_stack.pop()
+        elif isinstance(node, (ast.With, ast.AsyncWith)) and self._is_no_grad(node):
+            ctx.nograd_depth += 1
+            self._walk_children(node)
+            ctx.nograd_depth -= 1
+        else:
+            self._walk_children(node)
+
+    def _walk_children(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+
+    def _is_no_grad(self, node: ast.AST) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                func = expr.func
+                if isinstance(func, ast.Name) and func.id == "no_grad":
+                    return True
+                if isinstance(func, ast.Attribute) and func.attr == "no_grad":
+                    return True
+        return False
+
+
+def _build_dispatch(rules: Sequence[Rule]) -> Dict[Type[ast.AST], List[Rule]]:
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in rules:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    return dispatch
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: LintConfig = DEFAULT_CONFIG
+) -> List[Finding]:
+    """Lint one module given as a string; ``path`` drives the path policy."""
+    norm = str(path).replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError as err:
+        return [
+            Finding(
+                path=norm,
+                line=err.lineno or 0,
+                col=err.offset or 0,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {err.msg}",
+                rule="parse-error",
+            )
+        ]
+    ctx = LintContext(norm, tree, config)
+    rules = rules_for(config.select)
+    _Walker(ctx, _build_dispatch(rules)).walk(tree)
+    return apply_suppressions(ctx.findings, parse_suppressions(source))
+
+
+def lint_file(path: PathLike, config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint one file on disk (reported path is the path as given)."""
+    p = pathlib.Path(path)
+    source = p.read_text(encoding="utf-8")
+    return lint_source(source, path=p.as_posix(), config=config)
+
+
+def collect_files(paths: Sequence[PathLike]) -> List[pathlib.Path]:
+    """Expand files/directories into a sorted, deduplicated list of ``.py`` files.
+
+    Raises ``FileNotFoundError`` for a nonexistent input path (surfaced by the
+    CLI as an internal error, exit 2 — a typo'd path must not report "clean").
+    """
+    out: List[pathlib.Path] = []
+    seen = set()
+    for path in paths:
+        p = pathlib.Path(path)
+        if not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        if p.is_dir():
+            candidates: Tuple[pathlib.Path, ...] = tuple(sorted(p.rglob("*.py")))
+        else:
+            candidates = (p,)
+        for c in candidates:
+            if any(part in _SKIP_DIRS for part in c.parts):
+                continue
+            key = c.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(c)
+    return out
+
+
+def run_lint(
+    paths: Sequence[PathLike], config: Optional[LintConfig] = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` and aggregate the findings."""
+    config = config or DEFAULT_CONFIG
+    rules_for(config.select)  # validate selection eagerly (ValueError → exit 2)
+    files = collect_files(paths)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, config=config))
+    findings.sort()
+    return LintReport(findings=findings, files_checked=len(files))

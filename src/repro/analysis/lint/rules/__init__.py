@@ -1,0 +1,18 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.lint.registry`.  Each module groups the rules for one
+concern; see DESIGN.md for the rationale behind each code.
+"""
+
+from repro.analysis.lint.rules import (  # noqa: F401  (import for registration)
+    defaults,
+    dtypes,
+    randomness,
+    serialization,
+    tensor_data,
+    wallclock,
+)
+from repro.analysis.lint.rules.base import Rule
+
+__all__ = ["Rule"]

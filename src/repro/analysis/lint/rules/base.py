@@ -1,0 +1,92 @@
+"""Rule interface for the reprolint engine.
+
+A rule declares which AST node types it wants (``node_types``) and implements
+:meth:`Rule.check`, reporting violations through the context.  The engine
+performs a single AST walk per file and dispatches each node to every
+subscribed rule, so adding rules does not add walks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple, Type
+
+from repro.analysis.lint.context import LintContext
+
+__all__ = ["Rule", "constant_only", "call_keyword", "dotted_suffix"]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Class attributes
+    ----------------
+    code:
+        Stable identifier (``RPLxxx``) used in reports and suppressions.
+    name:
+        Short slug for the JSON output (``"global-rng"``).
+    description:
+        One-line rationale shown by ``repro lint --explain``-style tooling
+        and mirrored in DESIGN.md.
+    node_types:
+        AST node classes this rule wants to see.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        raise NotImplementedError
+
+
+def constant_only(node: ast.AST) -> bool:
+    """True when an expression is built purely from literals.
+
+    Used to distinguish a hardcoded seed (``default_rng(0xC0FFEE)``) from a
+    threaded one (``default_rng(seed)`` / ``default_rng(self._root + u)``):
+    only the former is a determinism hazard — it silently decouples the
+    function from the caller's seed.
+    """
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return constant_only(node.operand)
+    if isinstance(node, ast.BinOp):
+        return constant_only(node.left) and constant_only(node.right)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(constant_only(e) for e in node.elts)
+    return False
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name`` on ``call``, or None."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def dotted_suffix(qualname: Optional[str], prefix: str) -> Optional[str]:
+    """``"numpy.random.rand"`` with prefix ``"numpy.random"`` → ``"rand"``."""
+    if qualname is not None and qualname.startswith(prefix + "."):
+        rest = qualname[len(prefix) + 1 :]
+        if rest and "." not in rest:
+            return rest
+    return None
+
+
+def function_param_names(fn: ast.AST) -> Iterable[str]:
+    """All parameter names of a FunctionDef/AsyncFunctionDef/Lambda."""
+    args = getattr(fn, "args", None)
+    if args is None:
+        return ()
+    names = []
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        names.extend(a.arg for a in group)
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names

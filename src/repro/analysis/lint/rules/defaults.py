@@ -1,0 +1,84 @@
+"""RPL006 — no mutable default arguments.
+
+The classic Python trap: a ``def f(acc=[])`` default is evaluated once and
+shared across calls, so state leaks between invocations.  In an experiment
+harness this shows up as cells contaminating each other's accumulators —
+precisely the cross-run interference the parallel fan-out (PR 1) was built to
+rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import Rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.deque",
+        "collections.Counter",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.array",
+        "numpy.full",
+    }
+)
+
+
+def _is_mutable(node: ast.AST, ctx: LintContext) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _MUTABLE_CALLS:
+            return True
+        qual = ctx.qualname(node.func)
+        if qual in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RPL006: default argument values must be immutable."""
+
+    code = "RPL006"
+    name = "mutable-default"
+    description = (
+        "Mutable defaults ([], {}, set(), np.zeros(...)) are evaluated once "
+        "and shared across calls, leaking state between runs; default to None "
+        "and construct inside the function."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        fname = getattr(node, "name", "<lambda>")
+        for default in defaults:
+            if _is_mutable(default, ctx):
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default argument in '{fname}' is shared across "
+                    "calls; use None and construct inside the function",
+                )

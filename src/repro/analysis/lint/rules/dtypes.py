@@ -1,0 +1,63 @@
+"""RPL004 — dtype hygiene on the float32-sensitive fast path.
+
+The evaluation fast path (PR 1) runs scoring in float32; training runs in
+float64.  An array created without an explicit ``dtype`` in ``models/``,
+``autograd/``, or ``eval/`` silently adopts NumPy's default (float64 /
+platform int), which is exactly how a float32 pipeline picks up a float64
+leak: one ``np.zeros(n)`` buffer upcasts every downstream arithmetic result.
+The ``*_like`` constructors are exempt — inheriting a dtype from an existing
+array is the hygiene-preserving idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import Rule, call_keyword, dotted_suffix
+
+__all__ = ["DtypeHygieneRule"]
+
+#: Constructor name → index of the positional ``dtype`` parameter.
+CREATORS = {
+    "zeros": 1,
+    "ones": 1,
+    "empty": 1,
+    "full": 2,
+    "arange": 3,
+    "eye": 3,
+    "identity": 1,
+    "linspace": 5,
+}
+
+
+@register
+class DtypeHygieneRule(Rule):
+    """RPL004: array-creating calls must pass an explicit dtype."""
+
+    code = "RPL004"
+    name = "dtype-hygiene"
+    description = (
+        "np.zeros/ones/empty/full/arange/eye without an explicit dtype adopt "
+        "NumPy defaults and silently upcast the float32 fast path; pass "
+        "dtype=... or use a *_like constructor."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_dtype_path:
+            return
+        member = dotted_suffix(ctx.qualname(node.func), "numpy")
+        if member not in CREATORS:
+            return
+        if call_keyword(node, "dtype") is not None:
+            return
+        if len(node.args) > CREATORS[member]:
+            return  # dtype passed positionally
+        ctx.report(
+            self,
+            node,
+            f"np.{member}(...) without explicit dtype on the float32-sensitive "
+            "path; pass dtype=... (or build with a *_like constructor)",
+        )

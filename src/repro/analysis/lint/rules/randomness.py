@@ -1,0 +1,150 @@
+"""RPL001/RPL002 — determinism rules for random number generation.
+
+Every Table II–V number in this reproduction is a function of explicit seeds.
+A single draw from the legacy global NumPy RNG (``np.random.rand`` and
+friends) or an unseeded ``default_rng()`` silently breaks run-to-run
+reproducibility; a *hardcoded* seed inside a library function is subtler but
+as bad — it disconnects the function from the caller's seed, so two
+"independent" experiment cells share correlated randomness and resumed runs
+stop being bit-identical.  Test and fixture paths are exempt
+(:attr:`LintConfig.exempt_paths`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import (
+    Rule,
+    constant_only,
+    dotted_suffix,
+    function_param_names,
+)
+
+__all__ = ["GlobalRandomRule", "RngParameterRule"]
+
+#: Legacy global-state RNG entry points (module-level numpy.random functions
+#: plus the stateful RandomState class).  Drawing from any of these depends on
+#: hidden global state no checkpoint captures.
+LEGACY_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "normal",
+        "uniform",
+        "lognormal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "geometric",
+        "standard_normal",
+        "standard_cauchy",
+        "multinomial",
+        "multivariate_normal",
+        "seed",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+#: Parameter names that count as "the caller threads randomness in".
+RNG_PARAM_NAMES = frozenset({"rng", "seed", "seed_like", "random_state", "generator"})
+
+_DEFAULT_RNG = "numpy.random.default_rng"
+
+
+@register
+class GlobalRandomRule(Rule):
+    """RPL001: no global ``np.random.*`` state and no unseeded ``default_rng()``."""
+
+    code = "RPL001"
+    name = "global-rng"
+    description = (
+        "Global numpy.random state (np.random.rand/seed/…) and unseeded "
+        "default_rng() make runs irreproducible; draw from an explicitly "
+        "seeded np.random.Generator instead."
+    )
+    node_types = (ast.Call, ast.Attribute)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if ctx.in_exempt_path:
+            return
+        if isinstance(node, ast.Call):
+            qual = ctx.qualname(node.func)
+            member = dotted_suffix(qual, "numpy.random")
+            if member in LEGACY_RANDOM:
+                ctx.report(
+                    self,
+                    node,
+                    f"call to legacy global RNG numpy.random.{member}; use an "
+                    "explicitly seeded np.random.Generator (see repro.utils.rng)",
+                )
+            elif qual == _DEFAULT_RNG and not node.args and not node.keywords:
+                ctx.report(
+                    self,
+                    node,
+                    "unseeded default_rng() draws nondeterministic entropy; pass a "
+                    "seed or accept an rng parameter",
+                )
+        elif isinstance(node, ast.Attribute) and id(node) not in ctx.call_func_ids:
+            # Bare references (e.g. passing np.random.shuffle as a callback).
+            member = dotted_suffix(ctx.qualname(node), "numpy.random")
+            if member in LEGACY_RANDOM:
+                ctx.report(
+                    self,
+                    node,
+                    f"reference to legacy global RNG numpy.random.{member}; use an "
+                    "explicitly seeded np.random.Generator instead",
+                )
+
+
+@register
+class RngParameterRule(Rule):
+    """RPL002: functions drawing randomness must accept an ``rng`` parameter."""
+
+    code = "RPL002"
+    name = "rng-parameter"
+    description = (
+        "A library function constructing its own generator from a hardcoded "
+        "seed decouples its randomness from the caller's seed; accept an "
+        "rng: np.random.Generator (or seed) parameter and thread it through."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if ctx.in_exempt_path:
+            return
+        if ctx.qualname(node.func) != _DEFAULT_RNG:
+            return
+        if not node.args and not node.keywords:
+            return  # unseeded: RPL001's finding, not ours
+        fn = ctx.enclosing_function
+        if fn is None:
+            return  # module-level constant tables are deliberate and visible
+        params = set(function_param_names(fn))
+        if params & RNG_PARAM_NAMES:
+            return
+        seed_exprs = list(node.args) + [kw.value for kw in node.keywords]
+        if all(constant_only(e) for e in seed_exprs):
+            fname = getattr(fn, "name", "<lambda>")
+            ctx.report(
+                self,
+                node,
+                f"function '{fname}' builds a generator from a hardcoded seed; "
+                "accept an rng: np.random.Generator parameter and thread the "
+                "caller's generator through",
+            )

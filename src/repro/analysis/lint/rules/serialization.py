@@ -1,0 +1,63 @@
+"""RPL005 — no pickle in persistence paths.
+
+Checkpoints and datasets in this repository are pickle-free by design
+(:mod:`repro.io`): plain ``.npz`` archives are portable across Python
+versions, inspectable, and safe to load from untrusted sources.  A stray
+``import pickle`` or ``np.save(..., allow_pickle=True)`` quietly reintroduces
+version-locked, code-executing files.  (Process pools pickling *in memory* is
+fine — the rule targets explicit pickle use and pickle-enabled array I/O.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import Rule, call_keyword
+
+__all__ = ["NoPickleRule"]
+
+PICKLE_MODULES = frozenset({"pickle", "cPickle", "_pickle", "dill", "shelve"})
+
+
+@register
+class NoPickleRule(Rule):
+    """RPL005: no pickle imports, no ``allow_pickle=True``."""
+
+    code = "RPL005"
+    name = "no-pickle"
+    description = (
+        "Checkpoints are pickle-free .npz by design (portable, inspectable, "
+        "safe to load); pickle imports and allow_pickle=True reintroduce "
+        "version-locked code-executing files."
+    )
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in PICKLE_MODULES:
+                    ctx.report(
+                        self,
+                        node,
+                        f"import of {alias.name}: persistence is pickle-free by "
+                        "design; serialize to .npz via repro.io",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in PICKLE_MODULES:
+                ctx.report(
+                    self,
+                    node,
+                    f"import from {node.module}: persistence is pickle-free by "
+                    "design; serialize to .npz via repro.io",
+                )
+        elif isinstance(node, ast.Call):
+            value = call_keyword(node, "allow_pickle")
+            if isinstance(value, ast.Constant) and bool(value.value):
+                ctx.report(
+                    self,
+                    node,
+                    "allow_pickle=True loads/stores arbitrary objects; keep "
+                    "archives pickle-free (allow_pickle=False)",
+                )

@@ -1,0 +1,72 @@
+"""RPL007 — ``Tensor.data`` mutation under grad-enabled contexts.
+
+Writing through ``tensor.data`` bypasses the autodiff tape: the forward value
+changes but recorded backward closures still close over the old arrays, so
+gradients silently stop matching the forward pass.  Legitimate mutation sites
+— optimizer updates after ``backward()``, checkpoint restores — either sit
+inside ``with no_grad():`` (which this rule recognizes lexically) or carry an
+explicit ``# reprolint: disable=RPL007`` marking the invariant that makes
+them safe.  Plain ``self.data = ...`` attribute creation in ``__init__`` is
+exempt (that is construction, not mutation).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import Rule
+
+__all__ = ["TensorDataMutationRule"]
+
+
+def _data_target(target: ast.AST):
+    """Return the ``.data`` Attribute node if ``target`` writes through one."""
+    if isinstance(target, ast.Attribute) and target.attr == "data":
+        return target
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.value, ast.Attribute)
+        and target.value.attr == "data"
+    ):
+        return target.value
+    return None
+
+
+@register
+class TensorDataMutationRule(Rule):
+    """RPL007: ``.data`` writes outside ``no_grad`` need justification."""
+
+    code = "RPL007"
+    name = "tensor-data-mutation"
+    description = (
+        "Assigning through tensor.data bypasses the autodiff tape and "
+        "desynchronizes recorded backward closures from the forward value; "
+        "wrap the write in `with no_grad():` or suppress with a comment "
+        "stating why it is safe."
+    )
+    node_types = (ast.Assign, ast.AugAssign, ast.AnnAssign)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if ctx.in_no_grad:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _data_target(target)
+            if attr is None:
+                continue
+            # `self.data = ...` in __init__ is attribute construction.
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(attr.value, ast.Name)
+                and attr.value.id == "self"
+                and ctx.in_init_method()
+            ):
+                continue
+            ctx.report(
+                self,
+                node,
+                "mutation through .data outside `with no_grad():` desyncs the "
+                "autodiff tape; wrap in no_grad or suppress with a justification",
+            )

@@ -1,0 +1,60 @@
+"""RPL003 — no wall-clock reads in result-bearing code paths.
+
+Model, autograd, and evaluation code feed the numbers that land in the paper
+tables.  Wall-clock reads there (``time.time``, ``datetime.now``) are either
+dead weight or — worse — leak into computed values, making outputs depend on
+when the run happened.  Duration *telemetry* is fine and stays available via
+``time.perf_counter`` (a monotonic interval clock that cannot encode absolute
+time into results), which this rule deliberately allows.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import Rule
+
+__all__ = ["WallClockRule"]
+
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """RPL003: wall-clock reads are banned where results are computed."""
+
+    code = "RPL003"
+    name = "wallclock"
+    description = (
+        "time.time()/datetime.now() in model, autograd, or eval code makes "
+        "outputs depend on when the run happened; use time.perf_counter() for "
+        "durations and keep absolute timestamps in telemetry code."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_wallclock_path:
+            return
+        qual = ctx.qualname(node.func)
+        if qual in WALLCLOCK_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"wall-clock read {qual}() in a result-bearing path; use "
+                "time.perf_counter() for durations or move timestamping to "
+                "telemetry code",
+            )

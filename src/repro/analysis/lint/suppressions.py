@@ -1,0 +1,77 @@
+"""Inline suppression comments for reprolint.
+
+Syntax (same line as the finding)::
+
+    perm = rng.permutation(n)  # reprolint: disable=RPL002
+    x = legacy_call()          # reprolint: disable=RPL001,RPL003
+    y = anything()             # reprolint: disable
+
+A bare ``disable`` (no codes) suppresses every rule on that line.  For a
+statement spanning multiple physical lines the comment must sit on the line
+the finding is reported on (the statement's first line for statement-level
+rules).  Suppressions are parsed with :mod:`tokenize` so strings containing
+the marker text are not misread as comments.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Sequence
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["parse_suppressions", "apply_suppressions", "ALL_CODES"]
+
+#: Sentinel meaning "every code is suppressed on this line".
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+_MARKER = re.compile(r"#\s*reprolint:\s*disable(?:=(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number → set of suppressed codes (``ALL_CODES`` for bare disable)."""
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Tokenization can fail on files the parser also rejects; fall back
+        # to a line scan so suppressions still work in partially-broken files.
+        comments = [
+            (i, line[line.index("#") :])
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for lineno, text in comments:
+        m = _MARKER.search(text)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            entry = ALL_CODES
+        else:
+            entry = frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+            if not entry:
+                entry = ALL_CODES
+        previous = suppressed.get(lineno, frozenset())
+        suppressed[lineno] = ALL_CODES if ALL_CODES & (previous | entry) else previous | entry
+    return suppressed
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], suppressed: Dict[int, FrozenSet[str]]
+) -> list:
+    """Drop findings whose line carries a matching suppression."""
+    kept = []
+    for f in findings:
+        codes = suppressed.get(f.line)
+        if codes is not None and (codes is ALL_CODES or "*" in codes or f.code in codes):
+            continue
+        kept.append(f)
+    return kept

@@ -491,7 +491,7 @@ def segment_sum(values: Tensor, offsets: np.ndarray) -> Tensor:
         out[nonempty] = np.add.reduceat(values.data, offsets[:-1][nonempty], axis=0)
 
     def backward(grad: np.ndarray) -> None:
-        seg_ids = np.repeat(np.arange(num_segments), lengths)
+        seg_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
         values.accumulate_grad(grad[seg_ids], owned=True)
 
     return _make(out, (values,), backward)
@@ -521,7 +521,7 @@ def segment_softmax(scores: Tensor, offsets: np.ndarray) -> Tensor:
     offsets = _check_offsets(offsets, scores.data.shape[0])
     num_segments = len(offsets) - 1
     lengths = np.diff(offsets)
-    seg_ids = np.repeat(np.arange(num_segments), lengths)
+    seg_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lengths)
 
     maxes = segment_max(scores.data, offsets)
     shifted = scores.data - maxes[seg_ids]

@@ -34,11 +34,11 @@ def numerical_gradient(
     for _ in it:
         idx = it.multi_index
         original = param.data[idx]
-        param.data[idx] = original + eps
+        param.data[idx] = original + eps  # reprolint: disable=RPL007
         f_plus = float(loss_fn().item())
-        param.data[idx] = original - eps
+        param.data[idx] = original - eps  # reprolint: disable=RPL007
         f_minus = float(loss_fn().item())
-        param.data[idx] = original
+        param.data[idx] = original  # reprolint: disable=RPL007
         grad[idx] = (f_plus - f_minus) / (2.0 * eps)
     return grad
 

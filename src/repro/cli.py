@@ -8,7 +8,11 @@ Commands
 - ``train <model> <dataset>`` — train one model, report metrics, optionally
   save a checkpoint (``--save model.npz``);
 - ``recommend <dataset> <user>`` — train CKAT and print top-K items;
-- ``report <run.jsonl> ...``   — summarize JSONL run telemetry logs.
+- ``report <run.jsonl> ...``   — summarize JSONL run telemetry logs;
+- ``lint [paths ...]``         — run reprolint, the project-aware static
+  analyzer (exit 0 clean / 1 findings / 2 internal error);
+- ``sanitize-run <model> <dataset>`` — train under the runtime numeric
+  sanitizer (NaN/Inf, gradient shape, dtype-upcast detection).
 
 Common options: ``--scale small|full``, ``--seed N``, ``--epochs N``.
 Tables II–V accept ``--log-dir`` (JSONL telemetry per cell),
@@ -94,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="summarize a JSONL run telemetry log")
     p_report.add_argument("log", type=str, nargs="+", help="path(s) to .jsonl run logs")
+
+    p_lint = sub.add_parser("lint", help="run reprolint (project-aware static analysis)")
+    p_lint.add_argument(
+        "paths", type=str, nargs="*", default=["src"], help="files or directories to lint"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        help="comma-separated rule codes to run (e.g. RPL001,RPL004); default all",
+    )
+
+    p_san = sub.add_parser(
+        "sanitize-run", help="train one model under the runtime numeric sanitizer"
+    )
+    p_san.add_argument("model", choices=MODEL_NAMES)
+    p_san.add_argument("dataset", choices=("ooi", "gage"))
+    p_san.add_argument("--epochs", type=int, default=None)
     return parser
 
 
@@ -221,6 +244,52 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import (
+        EXIT_INTERNAL_ERROR,
+        LintConfig,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    try:
+        select = None
+        if args.select is not None:
+            select = frozenset(c.strip() for c in args.select.split(",") if c.strip())
+        config = LintConfig(select=select)
+        report = run_lint(args.paths, config=config)
+    except Exception as exc:  # missing paths, unknown codes, engine bugs
+        print(f"reprolint: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+    if args.format == "json":
+        print(render_json(report.findings, report.files_checked))
+    else:
+        print(render_text(report.findings, report.files_checked))
+    return report.exit_code
+
+
+def _cmd_sanitize_run(args) -> int:
+    from repro.analysis.sanitizer import SanitizerError, sanitized
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(ds.describe())
+    try:
+        with sanitized():
+            result = run_single_model(
+                args.model, ds, epochs=args.epochs, seed=args.seed, best_epoch_selection=False
+            )
+    except SanitizerError as exc:
+        print(f"sanitizer tripped ({exc.kind}) in '{exc.op}': {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{result.model} on {result.dataset}: recall@20={result.recall:.4f} "
+        f"ndcg@20={result.ndcg:.4f} ({result.train_seconds:.1f}s train)"
+    )
+    print("sanitizer: clean (no NaN/Inf, shape, or dtype-upcast violations)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -232,6 +301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "recommend": _cmd_recommend,
         "report": _cmd_report,
+        "lint": _cmd_lint,
+        "sanitize-run": _cmd_sanitize_run,
     }[args.command]
     return handler(args)
 

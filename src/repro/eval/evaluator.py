@@ -165,7 +165,7 @@ class RankingEvaluator:
         # because the dataset arrays are lexsorted by (user, item).
         self._test_keys = test.user_ids * np.int64(test.num_items) + test.item_ids
         # DCG position discounts and the IDCG lookup (index = min(rel, k) - 1).
-        self._discounts = 1.0 / np.log2(np.arange(2, k + 2))
+        self._discounts = 1.0 / np.log2(np.arange(2, k + 2, dtype=np.float64))
         self._idcg = np.cumsum(self._discounts)
         # Reusable score buffer, grown lazily to (user_batch, num_items).
         self._score_buf: Optional[np.ndarray] = None
@@ -212,13 +212,13 @@ class RankingEvaluator:
         total = int(deg.sum())
         if total == 0:
             return
-        rows = np.repeat(np.arange(len(batch)), deg)
+        rows = np.repeat(np.arange(len(batch), dtype=np.int64), deg)
         # Flat positions into the CSR indices array: each user's run starts
         # at indptr[user] and the within-run offset is a global arange minus
         # the run's exclusive cumulative start.
         run_starts = np.zeros(len(batch), dtype=np.int64)
         np.cumsum(deg[:-1], out=run_starts[1:])
-        flat = np.repeat(indptr[batch] - run_starts, deg) + np.arange(total)
+        flat = np.repeat(indptr[batch] - run_starts, deg) + np.arange(total, dtype=np.int64)
         neg_scores[rows, self._train_indices[flat]] = np.inf
 
     def _top_k(self, neg_scores: np.ndarray) -> np.ndarray:
@@ -230,7 +230,7 @@ class RankingEvaluator:
         """
         k = self.k
         top = np.argpartition(neg_scores, k - 1, axis=1)[:, :k]
-        row_idx = np.arange(neg_scores.shape[0])[:, None]
+        row_idx = np.arange(neg_scores.shape[0], dtype=np.int64)[:, None]
         order = np.argsort(neg_scores[row_idx, top], axis=1, kind="stable")
         return top[row_idx, order]
 
@@ -316,7 +316,7 @@ class RankingEvaluator:
         ndcgs: List[float] = []
         precisions: List[float] = []
         hits: List[float] = []
-        ideal_discounts = 1.0 / np.log2(np.arange(2, k + 2))
+        ideal_discounts = 1.0 / np.log2(np.arange(2, k + 2, dtype=np.float64))
         for start in range(0, len(users), self.user_batch):
             batch = users[start : start + self.user_batch]
             scores = np.array(score_fn(batch), dtype=np.float64, copy=True)
@@ -327,7 +327,7 @@ class RankingEvaluator:
             for row, user in enumerate(batch):
                 scores[row, self.train.items_of_user(int(user))] = -np.inf
             top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-            row_idx = np.arange(len(batch))[:, None]
+            row_idx = np.arange(len(batch), dtype=np.int64)[:, None]
             order = np.argsort(-scores[row_idx, top], axis=1, kind="stable")
             top = top[row_idx, order]
             for row, user in enumerate(batch):

@@ -57,7 +57,7 @@ def dcg_at_k(gains: np.ndarray) -> float:
     """Discounted cumulative gain of a binary gain vector (positions 1..n)."""
     if len(gains) == 0:
         return 0.0
-    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
+    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2, dtype=np.float64))
     return float((gains * discounts).sum())
 
 
@@ -69,7 +69,7 @@ def ndcg_at_k(ranked: Sequence[int], relevant: Set[int], k: int) -> float:
     if not relevant:
         return 0.0
     gains = _hits(ranked, relevant, k)
-    ideal = np.ones(min(len(relevant), k))
+    ideal = np.ones(min(len(relevant), k), dtype=np.float64)
     idcg = dcg_at_k(ideal)
     return dcg_at_k(gains) / idcg if idcg > 0 else 0.0
 
@@ -87,7 +87,7 @@ def average_precision_at_k(ranked: Sequence[int], relevant: Set[int], k: int) ->
         return 0.0
     gains = _hits(ranked, relevant, k)
     cum = np.cumsum(gains)
-    positions = np.arange(1, len(gains) + 1)
+    positions = np.arange(1, len(gains) + 1, dtype=np.float64)
     precisions = cum / positions
     denom = min(len(relevant), k)
     return float((precisions * gains).sum() / denom)

@@ -38,9 +38,9 @@ def per_user_metrics(
     returning the per-user vectors instead of means.
     """
     users = test.active_users()
-    recalls = np.empty(len(users))
-    ndcgs = np.empty(len(users))
-    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    recalls = np.empty(len(users), dtype=np.float64)
+    ndcgs = np.empty(len(users), dtype=np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, k + 2, dtype=np.float64))
     pos = 0
     for start in range(0, len(users), user_batch):
         batch = users[start : start + user_batch]
@@ -48,7 +48,7 @@ def per_user_metrics(
         for row, u in enumerate(batch):
             scores[row, train.items_of_user(int(u))] = -np.inf
         top = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-        row_idx = np.arange(len(batch))[:, None]
+        row_idx = np.arange(len(batch), dtype=np.int64)[:, None]
         order = np.argsort(-scores[row_idx, top], axis=1, kind="stable")
         top = top[row_idx, order]
         for row, u in enumerate(batch):

@@ -85,7 +85,7 @@ class AffinityModel:
         n = catalog.num_objects
         if n == 0:
             raise ValueError("catalog has no data objects")
-        pop = base_popularity if base_popularity is not None else self.popularity_weights(n)
+        pop = base_popularity if base_popularity is not None else self.popularity_weights(n, rng)
         weights = pop.astype(np.float64).copy()
         if rng.random() < self.p_region:
             mask = catalog.object_region == focus_region
@@ -116,18 +116,23 @@ class AffinityModel:
         focus_dtype: int,
         base_popularity: Optional[np.ndarray] = None,
         focus_site: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """The *expected* per-query item distribution for a user (closed form).
 
         Mixing the four gate outcomes analytically lets the trace generator
         draw all of a user's queries in one vectorized multinomial instead of
         gating per query — orders of magnitude faster and statistically
-        identical (queries are i.i.d. given the user).
+        identical (queries are i.i.d. given the user).  Callers either share
+        a precomputed ``base_popularity`` vector or pass the ``rng`` that
+        draws the popularity permutation.
         """
         n = catalog.num_objects
-        pop = (base_popularity if base_popularity is not None else self.popularity_weights(n)).astype(
-            np.float64
-        )
+        if base_popularity is None:
+            if rng is None:
+                raise ValueError("mixture_distribution needs rng when base_popularity is not given")
+            base_popularity = self.popularity_weights(n, rng)
+        pop = base_popularity.astype(np.float64)
         region_mask = (catalog.object_region == focus_region).astype(np.float64)
         if focus_site is not None:
             region_mask = region_mask * self._site_boost(catalog, focus_site)
@@ -156,30 +161,34 @@ class AffinityModel:
             + (1 - pr) * (1 - pd) * free
         )
 
-    def popularity_weights(self, num_objects: int) -> np.ndarray:
+    def popularity_weights(self, num_objects: int, rng: np.random.Generator) -> np.ndarray:
         """Zipf-like unnormalized popularity over object ids.
 
-        Ranks are assigned by a fixed pseudorandom permutation of object ids
-        (deterministic in ``num_objects``).  The permutation matters: object
-        ids are emitted instrument-by-instrument, so rank-by-id would place
-        all the most popular objects on one instrument/site and popularity
-        would masquerade as locality.
+        Ranks are assigned by a pseudorandom permutation of object ids drawn
+        from the caller's ``rng`` — one draw per trace, shared across every
+        user (see :meth:`user_mixtures`), so popularity ranks are consistent
+        within a generated trace while remaining a function of the caller's
+        seed.  The permutation matters: object ids are emitted
+        instrument-by-instrument, so rank-by-id would place all the most
+        popular objects on one instrument/site and popularity would
+        masquerade as locality.
         """
         ranks = np.arange(1, num_objects + 1, dtype=np.float64)
         weights = ranks**-self.popularity_exponent
-        perm = np.random.default_rng(0xC0FFEE).permutation(num_objects)
+        perm = rng.permutation(num_objects)
         return weights[perm]
 
     def user_mixtures(
-        self, catalog: FacilityCatalog, population: UserPopulation
+        self, catalog: FacilityCatalog, population: UserPopulation, rng: np.random.Generator
     ) -> np.ndarray:
         """Stack of per-user expected item distributions, shape (M, N).
 
-        Memory: M×N float64 — for the default scales (≤2k users × ≤2.5k
+        ``rng`` draws the popularity permutation once, shared by every user
+        row.  Memory: M×N float64 — for the default scales (≤2k users × ≤2.5k
         items) this is ≤40 MB, well worth it for fully vectorized trace
         generation.
         """
-        pop = self.popularity_weights(catalog.num_objects)
+        pop = self.popularity_weights(catalog.num_objects, rng)
         # Users sharing (focus_site, focus_dtype) share a row; compute each
         # distinct combination once.  (The site determines the region.)
         nd = catalog.num_data_types

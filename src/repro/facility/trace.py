@@ -131,7 +131,7 @@ class TraceGenerator:
         """
         rng = ensure_rng(seed)
         counts = self.sample_query_counts(rng)
-        mixtures = self.affinity.user_mixtures(self.catalog, self.population)
+        mixtures = self.affinity.user_mixtures(self.catalog, self.population, rng)
         total = int(counts.sum())
         user_ids = np.repeat(np.arange(self.population.num_users, dtype=np.int64), counts)
         object_ids = np.empty(total, dtype=np.int64)

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Parameter
+from repro.autograd.tensor import Parameter, no_grad
 
 __all__ = [
     "save_parameters",
@@ -103,13 +103,14 @@ def load_parameters(path: PathLike, model) -> None:
                 f"{path}: parameter set mismatch (missing={sorted(missing)}, "
                 f"extra={sorted(extra)})"
             )
-        for key, p in zip(keys, params):
-            arr = data[f"p.{key}"]
-            if arr.shape != p.data.shape:
-                raise ValueError(
-                    f"{path}: shape mismatch for {key}: file {arr.shape} vs model {p.data.shape}"
-                )
-            p.data[...] = arr
+        with no_grad():
+            for key, p in zip(keys, params):
+                arr = data[f"p.{key}"]
+                if arr.shape != p.data.shape:
+                    raise ValueError(
+                        f"{path}: shape mismatch for {key}: file {arr.shape} vs model {p.data.shape}"
+                    )
+                p.data[...] = arr
 
 
 # ------------------------------------------------------------ training state

@@ -23,7 +23,7 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
-from repro.autograd import Adam, Parameter, Tensor
+from repro.autograd import Adam, Parameter, Tensor, no_grad
 from repro.autograd import functional as F
 from repro.data.interactions import InteractionDataset
 from repro.data.sampling import BPRSampler
@@ -190,14 +190,15 @@ class Recommender:
                 f"cannot resume: parameter set mismatch (checkpoint {sorted(ckpt.params)}, "
                 f"model {sorted(keys)})"
             )
-        for key, p in zip(keys, params):
-            arr = ckpt.params[key]
-            if arr.shape != p.data.shape:
-                raise ValueError(
-                    f"cannot resume: shape mismatch for {key}: "
-                    f"checkpoint {arr.shape} vs model {p.data.shape}"
-                )
-            p.data[...] = arr
+        with no_grad():
+            for key, p in zip(keys, params):
+                arr = ckpt.params[key]
+                if arr.shape != p.data.shape:
+                    raise ValueError(
+                        f"cannot resume: shape mismatch for {key}: "
+                        f"checkpoint {arr.shape} vs model {p.data.shape}"
+                    )
+                p.data[...] = arr
         optimizer.load_state_dict(ckpt.optimizer_state)
         rng.bit_generator.state = ckpt.rng_state
         self.on_epoch_end()  # rebuild derived state (e.g. CKAT attention) from params
@@ -361,8 +362,9 @@ class Recommender:
                 if logger is not None:
                     logger.log("checkpoint", epoch=epoch + 1, path=str(written))
         if best_snapshot is not None:
-            for p, data in zip(params, best_snapshot):
-                p.data[...] = data
+            with no_grad():
+                for p, data in zip(params, best_snapshot):
+                    p.data[...] = data
             self.on_epoch_end()  # refresh derived state (e.g. CKAT attention)
         seconds = base_seconds + (time.perf_counter() - start)
         if logger is not None:

@@ -74,7 +74,7 @@ def compute_edge_attention(
     nonempty_order = np.concatenate(
         [order[bounds[r] : bounds[r + 1]] for r in range(adj.num_relations)]
     ) if adj.num_edges else np.zeros(0, dtype=np.int64)
-    inverse[nonempty_order] = np.arange(adj.num_edges)
+    inverse[nonempty_order] = np.arange(adj.num_edges, dtype=np.int64)
     scores_sorted = F.take_rows(flat, inverse)
     return F.segment_softmax(scores_sorted, adj.offsets)
 
@@ -87,7 +87,7 @@ def uniform_edge_weights(adj: CSRAdjacency) -> np.ndarray:
     aware attention mechanism (Table IV, row 3).
     """
     degrees = adj.degree()
-    seg_ids = np.repeat(np.arange(adj.num_entities), degrees)
+    seg_ids = np.repeat(np.arange(adj.num_entities, dtype=np.int64), degrees)
     return 1.0 / degrees[seg_ids].astype(np.float64)
 
 
@@ -98,7 +98,7 @@ class ConcatAggregator:
 
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, name: str = "agg"):
         self.W = Parameter(xavier_uniform((2 * in_dim, out_dim), rng), name=f"{name}.W")
-        self.b = Parameter(np.zeros(out_dim), name=f"{name}.b")
+        self.b = Parameter(np.zeros(out_dim, dtype=np.float64), name=f"{name}.b")
 
     def parameters(self) -> List[Parameter]:
         return [self.W, self.b]
@@ -115,7 +115,7 @@ class SumAggregator:
 
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, name: str = "agg"):
         self.W = Parameter(xavier_uniform((in_dim, out_dim), rng), name=f"{name}.W")
-        self.b = Parameter(np.zeros(out_dim), name=f"{name}.b")
+        self.b = Parameter(np.zeros(out_dim, dtype=np.float64), name=f"{name}.b")
 
     def parameters(self) -> List[Parameter]:
         return [self.W, self.b]

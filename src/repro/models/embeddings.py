@@ -127,7 +127,7 @@ class TransR:
             pieces.append(e @ F.transpose(Wr))  # (m, k)
         flat = F.concat(pieces, axis=0)
         inverse = np.empty(len(rels), dtype=np.int64)
-        inverse[order] = np.arange(len(rels))
+        inverse[order] = np.arange(len(rels), dtype=np.int64)
         return F.take_rows(flat, inverse)
 
     def energy(self, heads: np.ndarray, rels: np.ndarray, tails: np.ndarray) -> Tensor:

@@ -106,8 +106,8 @@ class FM(Recommender):
         self.l2 = l2
         n_feat = features.num_entities
         self.factors = Parameter(xavier_uniform((n_feat, dim), rng, gain=0.5), name="fm.v")
-        self.linear = Parameter(np.zeros((n_feat, 1)), name="fm.w")
-        self.bias = Parameter(np.zeros(1), name="fm.w0")
+        self.linear = Parameter(np.zeros((n_feat, 1), dtype=np.float64), name="fm.w")
+        self.bias = Parameter(np.zeros(1, dtype=np.float64), name="fm.w0")
 
     def parameters(self) -> List[Parameter]:
         return [self.factors, self.linear, self.bias]
@@ -169,12 +169,12 @@ class FM(Recommender):
         users = np.asarray(users, dtype=np.int64)
         V = self.factors.data
         w = self.linear.data[:, 0]
-        item_ids = self._item_feature_ids(np.arange(self.num_items))
+        item_ids = self._item_feature_ids(np.arange(self.num_items, dtype=np.int64))
         S = V[item_ids].copy()
         L = w[item_ids].copy()
         Q = (V[item_ids] ** 2).sum(axis=1)
-        flat, seg = self.features.batch_attrs(np.arange(self.num_items))
-        seg_ids = np.repeat(np.arange(self.num_items), np.diff(seg))
+        flat, seg = self.features.batch_attrs(np.arange(self.num_items, dtype=np.int64))
+        seg_ids = np.repeat(np.arange(self.num_items, dtype=np.int64), np.diff(seg))
         np.add.at(S, seg_ids, V[flat])
         np.add.at(L, seg_ids, w[flat])
         np.add.at(Q, seg_ids, (V[flat] ** 2).sum(axis=1))

@@ -71,7 +71,7 @@ class KGCN(Recommender):
         self.agg_W = [
             Parameter(xavier_uniform((dim, dim), rng), name=f"kgcn.W{i}") for i in range(n_iter)
         ]
-        self.agg_b = [Parameter(np.zeros(dim), name=f"kgcn.b{i}") for i in range(n_iter)]
+        self.agg_b = [Parameter(np.zeros(dim, dtype=np.float64), name=f"kgcn.b{i}") for i in range(n_iter)]
 
     def parameters(self) -> List[Parameter]:
         return [self.user_emb, self.entity_emb, self.relation_emb] + self.agg_W + self.agg_b
@@ -149,7 +149,7 @@ class KGCN(Recommender):
         R = self.relation_emb.data
         B, k, d = len(users), self.k, self.dim
         for start in range(0, self.num_items, item_chunk):
-            items = np.arange(start, min(start + item_chunk, self.num_items))
+            items = np.arange(start, min(start + item_chunk, self.num_items), dtype=np.int64)
             ents = self._item_entities[items]  # (m,)
             m = len(items)
             hop_ents = [ents.reshape(1, m)]  # hop lists shared across users

@@ -56,10 +56,10 @@ class NFM(Recommender):
         self._rng = ensure_rng(rng.integers(2**31))
         n_feat = features.num_entities
         self.factors = Parameter(xavier_uniform((n_feat, dim), rng, gain=0.5), name="nfm.v")
-        self.linear = Parameter(np.zeros((n_feat, 1)), name="nfm.w")
-        self.bias = Parameter(np.zeros(1), name="nfm.w0")
+        self.linear = Parameter(np.zeros((n_feat, 1), dtype=np.float64), name="nfm.w")
+        self.bias = Parameter(np.zeros(1, dtype=np.float64), name="nfm.w0")
         self.W1 = Parameter(xavier_uniform((dim, hidden_dim), rng), name="nfm.W1")
-        self.b1 = Parameter(np.zeros(hidden_dim), name="nfm.b1")
+        self.b1 = Parameter(np.zeros(hidden_dim, dtype=np.float64), name="nfm.b1")
         self.h = Parameter(xavier_uniform((hidden_dim, 1), rng), name="nfm.h")
 
     def parameters(self) -> List[Parameter]:
@@ -127,8 +127,8 @@ class NFM(Recommender):
         S = V[item_ids].copy()  # Σ item-side factors
         L = w[item_ids].copy()
         Q = (V[item_ids] ** 2).sum(axis=1)
-        flat, seg = self.features.batch_attrs(np.arange(n))
-        seg_ids = np.repeat(np.arange(n), np.diff(seg))
+        flat, seg = self.features.batch_attrs(np.arange(n, dtype=np.int64))
+        seg_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(seg))
         np.add.at(S, seg_ids, V[flat])
         np.add.at(L, seg_ids, w[flat])
         np.add.at(Q, seg_ids, (V[flat] ** 2).sum(axis=1))

@@ -67,7 +67,7 @@ class RandomRecommender(Recommender):
         # Scores are a pure function of (seed, user), so repeated calls rank
         # identically — evaluation batching cannot change the outcome.
         users = np.asarray(users, dtype=np.int64)
-        out = np.empty((len(users), self.num_items))
+        out = np.empty((len(users), self.num_items), dtype=np.float64)
         for row, u in enumerate(users):
             out[row] = np.random.default_rng(self._root_seed + int(u)).random(self.num_items)
         return out

@@ -151,7 +151,7 @@ class RippleNet(Recommender):
             pieces.append(h @ F.transpose(Rm))
         flat = F.concat(pieces, axis=0)
         inverse = np.empty(len(flat_r), dtype=np.int64)
-        inverse[order] = np.arange(len(flat_r))
+        inverse[order] = np.arange(len(flat_r), dtype=np.int64)
         return F.take_rows(flat, inverse)
 
     def _pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
@@ -188,7 +188,7 @@ class RippleNet(Recommender):
         V = E[self._item_entities]  # (N, d)
         out = np.zeros((len(users), self.num_items), dtype=np.float64)
         for row, u in enumerate(users):
-            user_repr = np.zeros((self.num_items, self.dim))
+            user_repr = np.zeros((self.num_items, self.dim), dtype=np.float64)
             for hop in range(self.n_hop):
                 h = E[self.mem_h[u, hop]]  # (M, d)
                 Rm = R[self.mem_r[u, hop]]  # (M, d, d)

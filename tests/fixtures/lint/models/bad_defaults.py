@@ -1,0 +1,11 @@
+"""Known-bad fixture: mutable default arguments."""
+
+
+def accumulate(value, acc=[]):  # RPL006
+    acc.append(value)
+    return acc
+
+
+def tally(key, counts={}):  # RPL006
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,10 @@
+"""Known-bad fixture: implicit-dtype array creation on the fast path."""
+
+import numpy as np
+
+
+def buffers(n):
+    scores = np.zeros(n)  # RPL004
+    ids = np.arange(n)  # RPL004
+    mask = np.ones((n, n))  # RPL004
+    return scores, ids, mask

@@ -1,0 +1,20 @@
+"""Known-bad fixture: every statement below violates RPL001 or RPL002."""
+
+import numpy as np
+
+
+def draw_noise(n):
+    return np.random.rand(n)  # RPL001: legacy global RNG
+
+
+def reseed_world():
+    np.random.seed(0)  # RPL001: global seeding
+
+
+def entropy_rng():
+    return np.random.default_rng()  # RPL001: unseeded
+
+
+def hardcoded_seed_rng(n):
+    rng = np.random.default_rng(0xC0FFEE)  # RPL002: hardcoded seed, no rng param
+    return rng.random(n)

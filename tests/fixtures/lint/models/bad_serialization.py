@@ -1,0 +1,14 @@
+"""Known-bad fixture: pickle-based persistence."""
+
+import pickle  # RPL005
+
+import numpy as np
+
+
+def save(path, arr):
+    np.save(path, arr, allow_pickle=True)  # RPL005
+
+
+def load(path):
+    with open(path, "rb") as fh:
+        return pickle.load(fh)

@@ -1,0 +1,9 @@
+"""Known-bad fixture: Tensor.data mutation outside no_grad."""
+
+
+def overwrite(param, arr):
+    param.data[...] = arr  # RPL007
+
+
+def scale(param, factor):
+    param.data *= factor  # RPL007

@@ -1,0 +1,12 @@
+"""Known-bad fixture: wall-clock reads in a result-bearing (models/) path."""
+
+import datetime
+import time
+
+
+def stamp_result(value):
+    return value, time.time()  # RPL003
+
+
+def stamp_with_datetime(value):
+    return value, datetime.datetime.now()  # RPL003

@@ -1,0 +1,11 @@
+"""Known-good fixture: explicit dtypes and *_like constructors."""
+
+import numpy as np
+
+
+def buffers(n, template):
+    scores = np.zeros(n, dtype=np.float64)
+    ids = np.arange(n, dtype=np.int64)
+    mask = np.full((n, n), 0.0, np.float32)  # positional dtype counts
+    like = np.zeros_like(template)
+    return scores, ids, mask, like

@@ -1,0 +1,16 @@
+"""Known-good fixture: randomness threaded through rng/seed parameters."""
+
+import numpy as np
+
+
+def draw_noise(n, rng):
+    return rng.random(n)
+
+
+def build_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def derived_seed_rng(base, offset=0):
+    # Non-constant seed expressions referencing parameters are allowed.
+    return np.random.default_rng(base + offset)

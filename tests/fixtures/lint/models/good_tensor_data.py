@@ -1,0 +1,13 @@
+"""Known-good fixture: .data writes under no_grad or in construction."""
+
+from repro.autograd import no_grad
+
+
+class Holder:
+    def __init__(self, arr):
+        self.data = arr  # construction, not mutation
+
+
+def restore(param, arr):
+    with no_grad():
+        param.data[...] = arr

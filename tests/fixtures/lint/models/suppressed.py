@@ -1,0 +1,11 @@
+"""Fixture: violations silenced by inline suppression comments."""
+
+import numpy as np
+
+
+def legacy_shim(n):
+    return np.random.rand(n)  # reprolint: disable=RPL001
+
+
+def blanket(n):
+    return np.zeros(n), np.random.default_rng()  # reprolint: disable

@@ -31,26 +31,35 @@ class TestValidation:
 
 class TestPopularityWeights:
     def test_positive(self):
-        w = AffinityModel(0.5, 0.5).popularity_weights(100)
+        w = AffinityModel(0.5, 0.5).popularity_weights(100, np.random.default_rng(0))
         assert (w > 0).all()
 
     def test_zipf_shape(self):
-        w = AffinityModel(0.5, 0.5, popularity_exponent=1.0).popularity_weights(1000)
+        w = AffinityModel(0.5, 0.5, popularity_exponent=1.0).popularity_weights(
+            1000, np.random.default_rng(0)
+        )
         sorted_w = np.sort(w)[::-1]
         # Heavy tail: top weight much larger than median.
         assert sorted_w[0] > 10 * np.median(sorted_w)
 
     def test_uniform_when_exponent_zero(self):
-        w = AffinityModel(0.5, 0.5, popularity_exponent=0.0).popularity_weights(50)
+        w = AffinityModel(0.5, 0.5, popularity_exponent=0.0).popularity_weights(
+            50, np.random.default_rng(0)
+        )
         np.testing.assert_allclose(w, w[0])
 
-    def test_deterministic(self):
-        a = AffinityModel(0.5, 0.5).popularity_weights(64)
-        b = AffinityModel(0.5, 0.5).popularity_weights(64)
+    def test_deterministic_given_seed(self):
+        a = AffinityModel(0.5, 0.5).popularity_weights(64, np.random.default_rng(7))
+        b = AffinityModel(0.5, 0.5).popularity_weights(64, np.random.default_rng(7))
         np.testing.assert_array_equal(a, b)
 
+    def test_seed_controls_permutation(self):
+        a = AffinityModel(0.5, 0.5).popularity_weights(64, np.random.default_rng(7))
+        b = AffinityModel(0.5, 0.5).popularity_weights(64, np.random.default_rng(8))
+        assert not np.array_equal(a, b)
+
     def test_permutation_decorrelates_rank_from_id(self):
-        w = AffinityModel(0.5, 0.5).popularity_weights(500)
+        w = AffinityModel(0.5, 0.5).popularity_weights(500, np.random.default_rng(0))
         # Top-10 objects should not all be the first ids.
         top = np.argsort(-w)[:10]
         assert top.max() > 20
@@ -58,11 +67,11 @@ class TestPopularityWeights:
 
 class TestMixtureDistribution:
     def test_sums_to_one(self, ooi_catalog):
-        m = OOI_AFFINITY.mixture_distribution(ooi_catalog, 0, 0)
+        m = OOI_AFFINITY.mixture_distribution(ooi_catalog, 0, 0, rng=np.random.default_rng(0))
         np.testing.assert_allclose(m.sum(), 1.0, atol=1e-12)
 
     def test_nonnegative(self, ooi_catalog):
-        m = OOI_AFFINITY.mixture_distribution(ooi_catalog, 2, 3)
+        m = OOI_AFFINITY.mixture_distribution(ooi_catalog, 2, 3, rng=np.random.default_rng(0))
         assert (m >= 0).all()
 
     def test_region_gate_raises_region_mass(self, ooi_catalog):
@@ -70,8 +79,8 @@ class TestMixtureDistribution:
         weak = AffinityModel(0.0, 0.0)
         region = int(ooi_catalog.object_region[0])
         mask = ooi_catalog.object_region == region
-        m_strong = strong.mixture_distribution(ooi_catalog, region, 0)
-        m_weak = weak.mixture_distribution(ooi_catalog, region, 0)
+        m_strong = strong.mixture_distribution(ooi_catalog, region, 0, rng=np.random.default_rng(0))
+        m_weak = weak.mixture_distribution(ooi_catalog, region, 0, rng=np.random.default_rng(0))
         assert m_strong[mask].sum() > m_weak[mask].sum()
 
     def test_dtype_gate_raises_dtype_mass(self, ooi_catalog):
@@ -80,8 +89,8 @@ class TestMixtureDistribution:
         dtype = int(ooi_catalog.object_dtype[0])
         mask = ooi_catalog.object_dtype == dtype
         assert (
-            strong.mixture_distribution(ooi_catalog, 0, dtype)[mask].sum()
-            > weak.mixture_distribution(ooi_catalog, 0, dtype)[mask].sum()
+            strong.mixture_distribution(ooi_catalog, 0, dtype, rng=np.random.default_rng(0))[mask].sum()
+            > weak.mixture_distribution(ooi_catalog, 0, dtype, rng=np.random.default_rng(0))[mask].sum()
         )
 
     def test_focus_site_concentrates(self, ooi_catalog):
@@ -90,17 +99,17 @@ class TestMixtureDistribution:
         conc = AffinityModel(0.8, 0.0, site_concentration=50.0)
         flat = AffinityModel(0.8, 0.0, site_concentration=1.0)
         mask = ooi_catalog.object_site == site
-        m_conc = conc.mixture_distribution(ooi_catalog, region, 0, focus_site=site)
-        m_flat = flat.mixture_distribution(ooi_catalog, region, 0, focus_site=site)
+        m_conc = conc.mixture_distribution(ooi_catalog, region, 0, focus_site=site, rng=np.random.default_rng(0))
+        m_flat = flat.mixture_distribution(ooi_catalog, region, 0, focus_site=site, rng=np.random.default_rng(0))
         assert m_conc[mask].sum() > m_flat[mask].sum()
 
     def test_mixture_matches_monte_carlo(self, ooi_catalog):
         """The closed-form mixture equals the expectation of gated draws."""
         aff = AffinityModel(0.6, 0.4, site_concentration=1.0)
         region, dtype = 1, 2
-        analytic = aff.mixture_distribution(ooi_catalog, region, dtype)
+        pop = aff.popularity_weights(ooi_catalog.num_objects, np.random.default_rng(0))
+        analytic = aff.mixture_distribution(ooi_catalog, region, dtype, base_popularity=pop)
         rng = np.random.default_rng(0)
-        pop = aff.popularity_weights(ooi_catalog.num_objects)
         acc = np.zeros(ooi_catalog.num_objects)
         trials = 3000
         for _ in range(trials):
@@ -111,15 +120,15 @@ class TestMixtureDistribution:
 
 class TestUserMixtures:
     def test_shape(self, ooi_catalog, ooi_population):
-        m = OOI_AFFINITY.user_mixtures(ooi_catalog, ooi_population)
+        m = OOI_AFFINITY.user_mixtures(ooi_catalog, ooi_population, np.random.default_rng(0))
         assert m.shape == (ooi_population.num_users, ooi_catalog.num_objects)
 
     def test_rows_sum_to_one(self, ooi_catalog, ooi_population):
-        m = OOI_AFFINITY.user_mixtures(ooi_catalog, ooi_population)
+        m = OOI_AFFINITY.user_mixtures(ooi_catalog, ooi_population, np.random.default_rng(0))
         np.testing.assert_allclose(m.sum(axis=1), np.ones(ooi_population.num_users), atol=1e-9)
 
     def test_shared_focus_shares_rows(self, ooi_catalog, ooi_population):
-        m = OOI_AFFINITY.user_mixtures(ooi_catalog, ooi_population)
+        m = OOI_AFFINITY.user_mixtures(ooi_catalog, ooi_population, np.random.default_rng(0))
         keys = (
             ooi_population.user_focus_site * ooi_catalog.num_data_types
             + ooi_population.user_focus_dtype

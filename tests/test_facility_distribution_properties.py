@@ -71,7 +71,13 @@ def test_population_invariants(seed, num_users, num_orgs):
 def test_mixture_is_distribution_for_any_params(pr, pd, conc):
     cat = build_ooi_catalog(OOIConfig(num_sites=24), seed=1)
     aff = AffinityModel(p_region=pr, p_dtype=pd, site_concentration=conc)
-    m = aff.mixture_distribution(cat, focus_region=0, focus_dtype=0, focus_site=int(np.flatnonzero(cat.site_region == 0)[0]))
+    m = aff.mixture_distribution(
+        cat,
+        focus_region=0,
+        focus_dtype=0,
+        focus_site=int(np.flatnonzero(cat.site_region == 0)[0]),
+        rng=np.random.default_rng(0),
+    )
     assert (m >= 0).all()
     np.testing.assert_allclose(m.sum(), 1.0, atol=1e-9)
 
