@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke
+.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke
 
-verify: lint typecheck smoke
+verify: lint typecheck smoke sparse-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -32,6 +32,11 @@ typecheck:
 
 smoke:
 	$(PYTHON) -m pytest -q -m "not slow"
+
+# Fast sparse-vs-dense gradient equivalence gate (skips the 50k-entity
+# timing run; `make -C . test` and the benchmarks cover the speedup gate).
+sparse-smoke:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_sparse_grads.py -k "not speedup"
 
 sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2

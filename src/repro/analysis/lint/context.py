@@ -49,6 +49,12 @@ class LintConfig:
     """Paths feeding reported results, where RPL003 forbids wall-clock reads
     (``time.perf_counter`` for duration telemetry remains allowed)."""
 
+    scatter_paths: Tuple[str, ...] = ("autograd/",)
+    """Paths inside the gradient engine, where RPL008 flags ``np.add.at``:
+    every scatter-add there targets a parameter-shaped buffer by
+    construction, and should emit a
+    :class:`~repro.autograd.sparse.SparseRowGrad` instead."""
+
 
 DEFAULT_CONFIG = LintConfig()
 
@@ -88,6 +94,10 @@ class LintContext:
     @property
     def in_wallclock_path(self) -> bool:
         return _matches(self.path, self.config.wallclock_paths)
+
+    @property
+    def in_scatter_path(self) -> bool:
+        return _matches(self.path, self.config.scatter_paths)
 
     # -------------------------------------------------------------- lexical
     @property

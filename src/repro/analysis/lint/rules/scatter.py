@@ -1,0 +1,53 @@
+"""RPL008 — dense ``np.add.at`` scatter inside the gradient engine.
+
+``np.add.at(buf, idx, grad)`` on a parameter-shaped buffer is how a dense
+embedding backward materializes O(table · dim) work for O(batch · dim) of
+signal — precisely the pattern the sparse-row gradient path
+(:mod:`repro.autograd.sparse`) exists to remove, and it is slow on top of
+being dense (``ufunc.at`` is an unbuffered per-element loop; the sparse
+path's stable-sort + ``np.add.reduceat`` coalescing agrees to summation
+rounding).  The rule is path-scoped to ``src/repro/autograd/``: within
+the gradient engine every ``np.add.at`` scatters into a parameter-shaped
+gradient buffer by construction.  Legitimate uses (a genuinely dense target,
+a deliberate fallback) carry an explicit ``# reprolint: disable=RPL008``
+stating the justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import LintContext
+from repro.analysis.lint.registry import register
+from repro.analysis.lint.rules.base import Rule
+
+__all__ = ["DenseScatterGradRule"]
+
+
+@register
+class DenseScatterGradRule(Rule):
+    """RPL008: ``np.add.at`` in the gradient engine needs justification."""
+
+    code = "RPL008"
+    name = "dense-scatter-grad"
+    description = (
+        "np.add.at on a parameter-shaped gradient buffer materializes a "
+        "dense table-sized scatter per backward pass; emit a SparseRowGrad "
+        "(repro.autograd.sparse) instead, or suppress with a comment stating "
+        "why a dense scatter is required here."
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if not ctx.in_scatter_path:
+            return
+        assert isinstance(node, ast.Call)
+        if ctx.qualname(node.func) != "numpy.add.at":
+            return
+        ctx.report(
+            self,
+            node,
+            "dense np.add.at scatter in the gradient engine — emit a "
+            "SparseRowGrad (repro.autograd.sparse) or justify with a "
+            "suppression",
+        )

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd import optim as _optim
+from repro.autograd.sparse import SparseRowGrad
 from repro.autograd.tensor import Tensor
 
 __all__ = [
@@ -155,7 +156,12 @@ def _sanitized_accumulate_grad(original: Callable) -> Callable:
     @functools.wraps(original)
     def wrapped(self, grad, owned=False):
         label = self.name or f"tensor{self.data.shape}"
-        _check_finite(np.asarray(grad), f"accumulate_grad[{label}]", "gradient")
+        if isinstance(grad, SparseRowGrad):
+            # Check the stored row values directly — np.asarray would
+            # densify, defeating the sparse path's whole point.
+            _check_finite(grad.values, f"accumulate_grad[{label}]", "sparse gradient")
+        else:
+            _check_finite(np.asarray(grad), f"accumulate_grad[{label}]", "gradient")
         original(self, grad, owned)
 
     return wrapped
@@ -175,7 +181,8 @@ def _sanitized_step(original: Callable) -> Callable:
                     op=f"step[{label}]",
                     kind="shape",
                 )
-            _check_finite(p.grad, f"step[{label}]", "gradient")
+            garr = p.grad.values if isinstance(p.grad, SparseRowGrad) else p.grad
+            _check_finite(garr, f"step[{label}]", "gradient")
         original(self)
         for p in self.params:
             if p.grad is not None:

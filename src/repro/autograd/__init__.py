@@ -8,7 +8,12 @@ This subpackage is the numerical substrate for every recommendation model in
 - :mod:`~repro.autograd.functional` — the op library (matmul, embedding
   gather/scatter, segment reductions and segment softmax for ragged graph
   neighborhoods, activations, dropout, ranking losses);
-- :mod:`~repro.autograd.optim` — SGD / Adam / AdaGrad optimizers;
+- :mod:`~repro.autograd.sparse` — row-sparse gradients
+  (:class:`~repro.autograd.sparse.SparseRowGrad`) that embedding gathers emit
+  for leaf parameters, keeping backward and optimizer work O(batch · dim)
+  instead of O(table · dim);
+- :mod:`~repro.autograd.optim` — SGD / Adam / AdaGrad optimizers with
+  sparse scatter-updates (lazy per-row moment decay for Adam);
 - :mod:`~repro.autograd.init` — Xavier and scaled-normal initializers.
 
 The engine is deliberately small: dense float64/float32 arrays, define-by-run
@@ -21,11 +26,15 @@ from repro.autograd import functional
 from repro.autograd.gradcheck import GradcheckError, gradcheck, numerical_gradient
 from repro.autograd.init import xavier_uniform, xavier_normal, normal_init
 from repro.autograd.optim import SGD, Adam, AdaGrad, Optimizer
+from repro.autograd.sparse import SparseRowGrad, dense_grads, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, Parameter, no_grad, is_grad_enabled
 
 __all__ = [
     "Tensor",
     "Parameter",
+    "SparseRowGrad",
+    "dense_grads",
+    "sparse_grads_enabled",
     "no_grad",
     "is_grad_enabled",
     "functional",

@@ -28,6 +28,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.autograd.sparse import SparseRowGrad, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, astensor, is_grad_enabled, unbroadcast
 
 # This module shadows the builtins ``sum`` and ``abs`` with tensor ops; keep
@@ -276,14 +277,27 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 # ------------------------------------------------------------------- gather
 def take_rows(a: Tensor, indices: np.ndarray) -> Tensor:
-    """Gather rows ``a[indices]`` along axis 0 with scatter-add backward."""
+    """Gather rows ``a[indices]`` along axis 0 with scatter-add backward.
+
+    The backward pass builds a :class:`~repro.autograd.sparse.SparseRowGrad`
+    holding only the gathered rows.  When ``a`` is a leaf (a parameter
+    table), the sparse grad is accumulated as-is and the optimizer consumes
+    it with a scatter-update; for intermediate tensors — whose own backward
+    closures expect dense arrays — it is densified on the spot, matching the
+    old ``zeros_like`` + scatter-add path exactly for unique indices and to
+    summation-associativity rounding for duplicated ones (see
+    :meth:`SparseRowGrad.coalesce`).
+    """
     idx = np.asarray(indices, dtype=np.intp)
     out = a.data[idx]
 
     def backward(grad: np.ndarray) -> None:
-        g = np.zeros_like(a.data)
-        np.add.at(g, idx, grad)
-        a.accumulate_grad(g, owned=True)
+        flat = np.asarray(grad).reshape((idx.size,) + a.data.shape[1:])
+        g = SparseRowGrad(a.data.shape, idx, flat)
+        if sparse_grads_enabled() and not a._parents:
+            a.accumulate_grad(g)
+        else:
+            a.accumulate_grad(g.to_dense(), owned=True)
 
     return _make(out, (a,), backward)
 

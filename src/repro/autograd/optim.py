@@ -4,6 +4,26 @@ All models in the paper are trained with Adam (Section VI-D); SGD and AdaGrad
 are provided for ablations and tests.  Optimizers operate on the ``.grad``
 buffers that :meth:`repro.autograd.tensor.Tensor.backward` fills in and update
 ``.data`` in place (guides: in-place ops avoid large temporaries).
+
+Sparse row gradients
+--------------------
+Embedding gathers emit :class:`~repro.autograd.sparse.SparseRowGrad` for leaf
+parameters, and :meth:`Optimizer.step` dispatches on the gradient type: a
+parameter with a sparse grad is coalesced once and handed to the subclass's
+``_update_sparse`` (scatter-update over the touched rows only), while dense
+grads take the unchanged ``_update`` path — bit-for-bit the pre-sparse
+behavior.  Configurations whose update couples untouched rows (SGD momentum,
+any weight decay) fall back to densifying the grad, so sparse mode never
+changes semantics, only cost.
+
+Adam is the subtle case: its moments decay every step even for rows that
+received no gradient.  The sparse path is *lazy* — it records the step at
+which each row was last touched and, on the row's next appearance, applies
+the accumulated decay ``beta**(t - last)`` in one multiply before folding in
+the new gradient.  Moment values therefore match an eager per-step decay up
+to the associativity of repeated multiplication; what lazy Adam skips is the
+(tiny) parameter drift dense Adam applies to untouched rows from their
+decaying first moment.  See DESIGN.md for the full semantics note.
 """
 
 from __future__ import annotations
@@ -12,6 +32,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.autograd.sparse import SparseRowGrad
 from repro.autograd.tensor import Parameter
 
 _STATE_VERSION = 1
@@ -23,17 +44,28 @@ def clip_grad_norm(params: Sequence[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clipping norm.  Parameters with ``grad is None`` are
-    skipped.
+    skipped.  Sparse grads are coalesced first — summing squares of
+    uncoalesced duplicates would overcount ((v1+v2)² ≠ v1²+v2²).
     """
     total = 0.0
     for p in params:
-        if p.grad is not None:
+        if p.grad is None:
+            continue
+        if isinstance(p.grad, SparseRowGrad):
+            p.grad = p.grad.coalesce()
+            vals = p.grad.values
+            total += float((vals * vals).sum())
+        else:
             total += float((p.grad * p.grad).sum())
     norm = float(np.sqrt(total))
     if norm > max_norm > 0:
         scale = max_norm / (norm + 1e-12)
         for p in params:
-            if p.grad is not None:
+            if p.grad is None:
+                continue
+            if isinstance(p.grad, SparseRowGrad):
+                p.grad.scale_(scale)
+            else:
                 p.grad *= scale
     return norm
 
@@ -56,13 +88,35 @@ class Optimizer:
             p.grad = None
 
     def step(self) -> None:
-        """Apply one update using the current gradients."""
+        """Apply one update using the current gradients.
+
+        Parameters holding a :class:`SparseRowGrad` are coalesced and routed
+        to ``_update_sparse`` when the subclass supports it in its current
+        configuration; otherwise the grad is densified and the dense path
+        runs, preserving exact dense semantics.
+        """
         self.step_count += 1
         for p in self.params:
-            if p.grad is not None:
-                self._update(p)
+            grad = p.grad
+            if grad is None:
+                continue
+            if isinstance(grad, SparseRowGrad):
+                grad = grad.coalesce()
+                if self._supports_sparse():
+                    p.grad = grad
+                    self._update_sparse(p, grad)
+                    continue
+                p.grad = grad.to_dense()
+            self._update(p)
 
     def _update(self, p: Parameter) -> None:
+        raise NotImplementedError
+
+    def _supports_sparse(self) -> bool:
+        """Whether ``_update_sparse`` is exact under the current config."""
+        return False
+
+    def _update_sparse(self, p: Parameter, grad: SparseRowGrad) -> None:
         raise NotImplementedError
 
     def state_size(self) -> int:
@@ -167,6 +221,15 @@ class SGD(Optimizer):
             g = v
         p.data -= self.lr * g  # reprolint: disable=RPL007
 
+    def _supports_sparse(self) -> bool:
+        # Momentum and weight decay touch every row every step; densify.
+        return self.momentum == 0.0 and self.weight_decay == 0.0
+
+    def _update_sparse(self, p: Parameter, grad: SparseRowGrad) -> None:
+        # Same arithmetic as the dense update on the touched rows; untouched
+        # rows would see ``p -= lr * 0.0``, which is exactly a no-op.
+        p.data[grad.indices] -= self.lr * grad.values  # reprolint: disable=RPL007
+
     def state_size(self) -> int:
         return sum(v.size for v in self._velocity.values())
 
@@ -175,7 +238,19 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2014) — the paper's optimizer for every model."""
+    """Adam (Kingma & Ba, 2014) — the paper's optimizer for every model.
+
+    With sparse row gradients the moment decay is applied *lazily*: each
+    parameter that has ever received a sparse grad carries an int64 row
+    vector of last-touched step numbers, and a row's accumulated decay
+    ``beta**(t - last)`` is applied when the row next appears (or caught up
+    in bulk when a dense grad arrives).  Checkpoint compatibility: the
+    ``m``/``v`` slots stay dense param-shaped arrays holding *unflushed*
+    moments, and the row-step vectors travel as a separate top-level
+    ``row_steps`` key that older readers ignore (they then see exactly the
+    slot format PR 2 defined) and older checkpoints simply lack (all rows
+    are treated as current, which is exact for dense-only histories).
+    """
 
     def __init__(
         self,
@@ -194,12 +269,12 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+        #: per-parameter int64 vector (one entry per row) of the step at
+        #: which that row's moments were last decayed; only parameters that
+        #: have received a sparse grad have an entry.
+        self._last: Dict[int, np.ndarray] = {}
 
-    def _update(self, p: Parameter) -> None:
-        b1, b2 = self.betas
-        g = p.grad
-        if self.weight_decay:
-            g = g + self.weight_decay * p.data
+    def _moments(self, p: Parameter):
         m = self._m.get(id(p))
         if m is None:
             m = np.zeros_like(p.data)
@@ -207,6 +282,24 @@ class Adam(Optimizer):
             self._m[id(p)], self._v[id(p)] = m, v
         else:
             v = self._v[id(p)]
+        return m, v
+
+    def _update(self, p: Parameter) -> None:
+        b1, b2 = self.betas
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        m, v = self._moments(p)
+        last = self._last.get(id(p))
+        if last is not None:
+            # Catch up lazily-deferred decay so the standard ``m *= b1``
+            # below lands every row on beta**(t - last) total decay.
+            lag = (self.step_count - 1) - last
+            if lag.any():
+                expand = (-1,) + (1,) * (p.data.ndim - 1)
+                m *= (b1 ** lag.astype(np.float64)).reshape(expand)
+                v *= (b2 ** lag.astype(np.float64)).reshape(expand)
+            last[:] = self.step_count
         m *= b1
         m += (1 - b1) * g
         v *= b2
@@ -216,11 +309,70 @@ class Adam(Optimizer):
         vhat = v / (1 - b2**t)
         p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)  # reprolint: disable=RPL007
 
+    def _supports_sparse(self) -> bool:
+        # Decoupled weight decay would have to touch every row; densify.
+        return self.weight_decay == 0.0
+
+    def _update_sparse(self, p: Parameter, grad: SparseRowGrad) -> None:
+        b1, b2 = self.betas
+        m, v = self._moments(p)
+        last = self._last.get(id(p))
+        if last is None:
+            # Moments are current as of the previous step (zeros decay to
+            # zeros, so this is exact for fresh parameters too).
+            last = np.full(p.data.shape[0], self.step_count - 1, dtype=np.int64)
+            self._last[id(p)] = last
+        t = self.step_count
+        idx, val = grad.indices, grad.values
+        delta = (t - last[idx]).astype(np.float64)
+        expand = (-1,) + (1,) * (val.ndim - 1)
+        m_rows = m[idx] * (b1**delta).reshape(expand) + (1 - b1) * val
+        v_rows = v[idx] * (b2**delta).reshape(expand) + (1 - b2) * (val * val)
+        m[idx] = m_rows
+        v[idx] = v_rows
+        last[idx] = t
+        mhat = m_rows / (1 - b1**t)
+        vhat = v_rows / (1 - b2**t)
+        update = self.lr * mhat / (np.sqrt(vhat) + self.eps)
+        p.data[idx] -= update  # reprolint: disable=RPL007
+
     def state_size(self) -> int:
         return sum(m.size for m in self._m.values()) + sum(v.size for v in self._v.values())
 
     def _slots(self) -> Dict[str, Dict[int, np.ndarray]]:
         return {"m": self._m, "v": self._v}
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        if self._last:
+            index = {id(p): i for i, p in enumerate(self.params)}
+            # Plain ints so the vector survives the checkpoint meta-JSON
+            # channel; stored *unflushed* — folding the pending decay into
+            # m/v here would break bit-identical resume (beta**(a+b) is not
+            # beta**a * beta**b in floating point).
+            state["row_steps"] = {
+                index[pid]: [int(s) for s in steps] for pid, steps in self._last.items()
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        state = dict(state)
+        row_steps = state.pop("row_steps", None)
+        super().load_state_dict(state)
+        self._last = {}
+        if row_steps:
+            for key, steps in row_steps.items():
+                idx = int(key)  # JSON round-trips dict keys as strings
+                if not 0 <= idx < len(self.params):
+                    raise ValueError(f"optimizer row_steps indexes parameter {idx}")
+                p = self.params[idx]
+                arr = np.asarray(steps, dtype=np.int64)
+                if arr.shape != (p.data.shape[0],):
+                    raise ValueError(
+                        f"row_steps[{idx}] has {arr.shape[0] if arr.ndim else 0} entries "
+                        f"for parameter with {p.data.shape[0]} rows"
+                    )
+                self._last[id(p)] = arr
 
 
 class AdaGrad(Optimizer):
@@ -248,6 +400,22 @@ class AdaGrad(Optimizer):
             self._acc[id(p)] = acc
         acc += g * g
         p.data -= self.lr * g / (np.sqrt(acc) + self.eps)  # reprolint: disable=RPL007
+
+    def _supports_sparse(self) -> bool:
+        return self.weight_decay == 0.0
+
+    def _update_sparse(self, p: Parameter, grad: SparseRowGrad) -> None:
+        acc = self._acc.get(id(p))
+        if acc is None:
+            acc = np.zeros_like(p.data)
+            self._acc[id(p)] = acc
+        idx, val = grad.indices, grad.values
+        # AdaGrad's accumulator never decays, so the sparse update performs
+        # the dense arithmetic exactly: untouched rows accumulate g² = 0 and
+        # receive a zero step.
+        acc_rows = acc[idx] + val * val
+        acc[idx] = acc_rows
+        p.data[idx] -= self.lr * val / (np.sqrt(acc_rows) + self.eps)  # reprolint: disable=RPL007
 
     def state_size(self) -> int:
         return sum(a.size for a in self._acc.values())

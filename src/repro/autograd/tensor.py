@@ -18,7 +18,10 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autograd.sparse import SparseRowGrad
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
+GradLike = Union[np.ndarray, SparseRowGrad]
 
 _GRAD_ENABLED = True
 
@@ -92,8 +95,10 @@ class Tensor:
     data:
         The underlying :class:`numpy.ndarray` value.
     grad:
-        Accumulated gradient (same shape as ``data``) after ``backward``;
-        ``None`` until gradients flow.
+        Accumulated gradient after ``backward`` — a dense array of
+        ``data.shape``, or a :class:`~repro.autograd.sparse.SparseRowGrad`
+        when every contribution came through an embedding gather; ``None``
+        until gradients flow.
     requires_grad:
         Whether gradients should be computed for this tensor.
     """
@@ -109,7 +114,7 @@ class Tensor:
         name: str = "",
     ):
         self.data = _as_array(data)
-        self.grad: Optional[np.ndarray] = None
+        self.grad: Optional[GradLike] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: Tuple["Tensor", ...] = tuple(_parents) if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
@@ -157,7 +162,7 @@ class Tensor:
         """Reset the accumulated gradient to ``None``."""
         self.grad = None
 
-    def accumulate_grad(self, grad: np.ndarray, owned: bool = False) -> None:
+    def accumulate_grad(self, grad: GradLike, owned: bool = False) -> None:
         """Add ``grad`` into this tensor's gradient buffer (allocating lazily).
 
         ``owned=True`` asserts the caller hands over a freshly-allocated
@@ -166,7 +171,29 @@ class Tensor:
         closures that compute a new temporary (e.g. ``grad * x``) pass
         ``owned=True``; closures that forward a shared array (e.g. ``add``
         passing the same grad to both parents) use the safe default.
+
+        ``grad`` may be a :class:`~repro.autograd.sparse.SparseRowGrad`
+        (emitted by ``take_rows``/``embedding`` backward for leaf tensors):
+        sparse + sparse merges row lists, sparse arriving on a dense buffer
+        scatter-adds into it, and a dense grad arriving on a sparse buffer
+        densifies the buffer first.  Sparse grads are never broadcast — their
+        shape must match the tensor exactly.
         """
+        if isinstance(grad, SparseRowGrad):
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"sparse grad shape {grad.shape} does not match tensor "
+                    f"shape {self.data.shape}"
+                )
+            if self.grad is None:
+                self.grad = grad
+            elif isinstance(self.grad, SparseRowGrad):
+                self.grad.merge_(grad)
+            else:
+                grad.add_to_dense(self.grad)
+            return
+        if isinstance(self.grad, SparseRowGrad):
+            self.grad = self.grad.to_dense()
         shaped = unbroadcast(np.asarray(grad), self.data.shape)
         if shaped is not grad:
             owned = True  # unbroadcast allocated a reduction
@@ -217,7 +244,13 @@ class Tensor:
 
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                g = node.grad
+                if isinstance(g, SparseRowGrad):
+                    # Backward closures expect ndarrays; sparse grads only
+                    # reach non-leaf nodes through unusual graphs (e.g. a
+                    # gather whose source is itself an op output).
+                    g = g.to_dense()
+                node._backward(g)
                 # Free intermediate gradients/tape references eagerly; keep
                 # leaf grads (parameters) for the optimizer.
                 if node._parents:

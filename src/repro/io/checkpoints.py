@@ -134,6 +134,11 @@ class TrainingCheckpoint:
     best_snapshot: Optional[Dict[str, np.ndarray]]
     seconds: float
     config: dict
+    extra_rng_state: Optional[dict] = None
+    """Model-owned generator states beyond the training-loop RNG (e.g. the
+    dropout generators CKAT and NFM seed at construction), keyed by the
+    model's own labels.  ``None`` for models without private generators and
+    in pre-PR-4 checkpoints — the loader treats both the same."""
 
 
 def save_training_checkpoint(path: PathLike, ckpt: TrainingCheckpoint) -> pathlib.Path:
@@ -160,6 +165,7 @@ def save_training_checkpoint(path: PathLike, ckpt: TrainingCheckpoint) -> pathli
         "optimizer": {k: v for k, v in ckpt.optimizer_state.items() if k != "slots"},
         "optimizer_slot_names": sorted(slots),
         "rng_state": ckpt.rng_state,
+        "extra_rng_state": ckpt.extra_rng_state,
         "losses": [float(x) for x in ckpt.losses],
         "extra_losses": [float(x) for x in ckpt.extra_losses],
         "eval_history": ckpt.eval_history,
@@ -205,10 +211,11 @@ def load_training_checkpoint(path: PathLike) -> TrainingCheckpoint:
             params=params,
             optimizer_state=optimizer_state,
             rng_state=meta["rng_state"],
+            extra_rng_state=meta.get("extra_rng_state"),
             losses=list(meta["losses"]),
             extra_losses=list(meta["extra_losses"]),
             eval_history=list(meta["eval_history"]),
-            best_score=float(meta["best_score"]),
+            best_score=None if meta["best_score"] is None else float(meta["best_score"]),
             best_snapshot=best_snapshot,
             seconds=float(meta["seconds"]),
             config=dict(meta["config"]),

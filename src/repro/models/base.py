@@ -153,6 +153,30 @@ class Recommender:
     def on_epoch_end(self) -> None:
         """Hook invoked after each epoch (CKAT refreshes attention here)."""
 
+    def extra_rng_state(self) -> Optional[dict]:
+        """State of model-owned generators beyond the training-loop RNG.
+
+        Models that seed private generators at construction (CKAT's and
+        NFM's dropout RNGs) return a JSON-serializable dict of
+        ``bit_generator.state`` dicts keyed by their own labels, so
+        checkpoints capture *all* randomness and kill-and-resume stays
+        bit-identical even with dropout active.  Default: ``None`` (no
+        private generators).
+        """
+        return None
+
+    def restore_extra_rng_state(self, state: dict) -> None:
+        """Restore the generator states captured by :meth:`extra_rng_state`.
+
+        Only called with a non-``None`` state; the default raises because a
+        checkpoint carrying extra RNG state but a model with nowhere to put
+        it means the save/restore hooks are out of sync.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement restore_extra_rng_state "
+            "but the checkpoint carries extra RNG state"
+        )
+
     # ------------------------------------------------------------- training
     def _restore_checkpoint(
         self,
@@ -201,6 +225,8 @@ class Recommender:
                 p.data[...] = arr
         optimizer.load_state_dict(ckpt.optimizer_state)
         rng.bit_generator.state = ckpt.rng_state
+        if ckpt.extra_rng_state is not None:
+            self.restore_extra_rng_state(ckpt.extra_rng_state)
         self.on_epoch_end()  # rebuild derived state (e.g. CKAT attention) from params
 
     def fit(
@@ -346,6 +372,7 @@ class Recommender:
                     params={key: p.data.copy() for key, p in zip(keys, params)},
                     optimizer_state=optimizer.state_dict(),
                     rng_state=rng.bit_generator.state,
+                    extra_rng_state=self.extra_rng_state(),
                     losses=list(losses),
                     extra_losses=list(extra_losses),
                     eval_history=list(eval_history),

@@ -52,6 +52,10 @@ def compute_edge_attention(
     requires).  Fully differentiable: wrap in
     :func:`repro.autograd.tensor.no_grad` for frozen-attention training.
     """
+    if adj.num_edges == 0:
+        # F.concat rejects an empty piece list; a graph with no triples has
+        # an empty (but well-formed) attention vector.
+        return F.astensor(np.zeros(0, dtype=np.float64))
     order, bounds = adj.relation_edge_groups()
     pieces: List[Tensor] = []
     d = entity_emb.shape[1]
@@ -133,7 +137,10 @@ class PropagationLayer:
         e^(l) = agg(e^(l-1), e_Nh)
 
     with optional message dropout and L2 normalization of the output (both
-    standard in the KGAT family).
+    standard in the KGAT family).  ``normalize`` controls whether the layer's
+    output is L2-normalized where it enters the final layer concatenation —
+    :meth:`repro.models.ckat.model.CKAT.propagate` consults the flag, since
+    the *raw* output always feeds the next propagation step.
     """
 
     def __init__(

@@ -63,6 +63,10 @@ class CKATConfig:
     use_attention: bool = True
     attention_mode: str = "epoch"
     dropout: float = 0.1
+    normalize: bool = True
+    """L2-normalize each propagation layer's output before it enters the
+    layer concatenation (Eq. 10).  ``False`` feeds the raw aggregator
+    outputs through — the no-normalization ablation."""
     l2: float = 1e-5
     transr_margin: float = 1.0
     kg_batch_size: int = 2048
@@ -120,6 +124,7 @@ class CKAT(Recommender):
                     aggregator=config.aggregator,
                     rng=rng,
                     dropout=config.dropout,
+                    normalize=config.normalize,
                     name=f"ckat.layer{li}",
                 )
             )
@@ -153,6 +158,12 @@ class CKAT(Recommender):
         if self.config.attention_mode == "epoch":
             self.refresh_attention()
 
+    def extra_rng_state(self) -> dict:
+        return {"dropout": self._dropout_rng.bit_generator.state}
+
+    def restore_extra_rng_state(self, state: dict) -> None:
+        self._dropout_rng.bit_generator.state = state["dropout"]
+
     # ----------------------------------------------------------- propagation
     def propagate(self, training: bool = False) -> Tensor:
         """All-entity final representations e* (Eq. 10), shape (Ent, Σdims)."""
@@ -179,7 +190,11 @@ class CKAT(Recommender):
                 training=training,
                 sparse_matrix=sparse,
             )
-            outputs.append(F.l2_normalize(current, axis=1))
+            # Honor the per-layer normalize flag (the no-normalization
+            # ablation); the raw output always feeds the next layer.
+            outputs.append(
+                F.l2_normalize(current, axis=1) if layer.normalize else current
+            )
         return F.concat(outputs, axis=1)
 
     # -------------------------------------------------------------- training

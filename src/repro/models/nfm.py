@@ -65,6 +65,12 @@ class NFM(Recommender):
     def parameters(self) -> List[Parameter]:
         return [self.factors, self.linear, self.bias, self.W1, self.b1, self.h]
 
+    def extra_rng_state(self) -> dict:
+        return {"dropout": self._rng.bit_generator.state}
+
+    def restore_extra_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["dropout"]
+
     # ------------------------------------------------------------- internals
     def _bi_interaction(self, users: np.ndarray, items: np.ndarray) -> Tensor:
         """Bi-interaction pooled vector per pair, shape (B, d)."""

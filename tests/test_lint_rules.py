@@ -199,6 +199,32 @@ class TestTensorDataMutation:
         assert codes(src) == ["RPL007"]
 
 
+# --------------------------------------------------------------------- RPL008
+class TestDenseScatterGrad:
+    GRAD_PATH = "src/repro/autograd/mod.py"
+
+    def test_add_at_in_gradient_engine_flagged(self):
+        src = "import numpy as np\nnp.add.at(buf, idx, grad)\n"
+        assert codes(src, path=self.GRAD_PATH) == ["RPL008"]
+
+    def test_alias_resolved(self):
+        src = "import numpy\nnumpy.add.at(buf, idx, grad)\n"
+        assert codes(src, path=self.GRAD_PATH) == ["RPL008"]
+
+    def test_quiet_outside_gradient_engine(self):
+        src = "import numpy as np\nnp.add.at(buf, idx, grad)\n"
+        assert codes(src, path=NEUTRAL_PATH) == []
+        assert codes(src, path=MODEL_PATH) == []
+
+    def test_suppression_comment_honored(self):
+        src = "import numpy as np\nnp.add.at(buf, idx, grad)  # reprolint: disable=RPL008\n"
+        assert codes(src, path=self.GRAD_PATH) == []
+
+    def test_reduceat_coalescing_clean(self):
+        src = "import numpy as np\nout = np.add.reduceat(vals, starts, axis=0)\n"
+        assert codes(src, path=self.GRAD_PATH) == []
+
+
 # ------------------------------------------------------------------- fixtures
 BAD_FIXTURES = {
     "bad_randomness.py": {"RPL001", "RPL002"},

@@ -6,11 +6,14 @@ import pytest
 from repro.autograd import Tensor, no_grad
 from repro.models import CKAT, CKATConfig
 from repro.models.base import FitConfig
+from repro.kg.adjacency import CSRAdjacency
+from repro.kg.triples import TripleStore
 from repro.models.ckat.layers import (
     ConcatAggregator,
     PropagationLayer,
     SumAggregator,
     build_weighted_adjacency,
+    compute_edge_attention,
     uniform_edge_weights,
 )
 from repro.models.embeddings import TransE, TransR, corrupt_triples
@@ -147,6 +150,76 @@ class TestPropagation:
     def test_entity_representations_no_tape(self, ckat_model):
         reps = ckat_model.entity_representations()
         assert isinstance(reps, np.ndarray)
+
+
+class TestNormalizeAblation:
+    def _build(self, ooi_split, ooi_ckg_best, normalize):
+        return CKAT(
+            ooi_split.train.num_users,
+            ooi_split.train.num_items,
+            ooi_ckg_best,
+            CKATConfig(
+                dim=8, relation_dim=8, layer_dims=(8, 4), dropout=0.0, normalize=normalize
+            ),
+            seed=0,
+        )
+
+    def test_flag_reaches_every_layer(self, ooi_split, ooi_ckg_best):
+        model = self._build(ooi_split, ooi_ckg_best, normalize=False)
+        assert all(not layer.normalize for layer in model.layers)
+        model = self._build(ooi_split, ooi_ckg_best, normalize=True)
+        assert all(layer.normalize for layer in model.layers)
+
+    def test_ablation_changes_propagation_output(self, ooi_split, ooi_ckg_best):
+        with no_grad():
+            normalized = self._build(ooi_split, ooi_ckg_best, normalize=True).propagate().data
+            raw = self._build(ooi_split, ooi_ckg_best, normalize=False).propagate().data
+        assert normalized.shape == raw.shape
+        assert not np.allclose(normalized, raw)
+
+    def test_layer_slices_have_unit_norm_only_when_normalized(self, ooi_split, ooi_ckg_best):
+        """Eq. 10 concatenates per-layer outputs; with normalize=True each
+        layer's slice has unit row norms, the ablation leaves them raw."""
+        with no_grad():
+            normalized = self._build(ooi_split, ooi_ckg_best, normalize=True).propagate().data
+            raw = self._build(ooi_split, ooi_ckg_best, normalize=False).propagate().data
+        sl = slice(8, 16)  # first propagation layer's slice (after the dim=8 embedding)
+        norm_rows = np.linalg.norm(normalized[:, sl], axis=1)
+        np.testing.assert_allclose(norm_rows[norm_rows > 1e-8], 1.0, atol=1e-6)
+        raw_rows = np.linalg.norm(raw[:, sl], axis=1)
+        assert not np.allclose(raw_rows[raw_rows > 1e-8], 1.0, atol=1e-6)
+
+
+class TestDegenerateGraph:
+    """A CKG with zero triples (e.g. an empty facility catalog) must yield
+    well-formed empty attention and self-only propagation, not crash."""
+
+    @pytest.fixture()
+    def empty_adj(self):
+        return CSRAdjacency(TripleStore(num_entities=5))
+
+    def test_zero_edge_attention_is_empty(self, empty_adj, rng):
+        entity = Tensor(rng.normal(size=(5, 4)))
+        relation = Tensor(rng.normal(size=(1, 3)))
+        proj = Tensor(rng.normal(size=(1, 3, 4)))
+        att = compute_edge_attention(entity, relation, proj, empty_adj)
+        assert att.shape == (0,)
+        assert att.data.dtype == np.float64
+
+    def test_zero_edge_propagation_is_self_only(self, empty_adj, rng):
+        layer = PropagationLayer(4, 3, aggregator="concat", rng=rng, dropout=0.0)
+        emb = Tensor(rng.normal(size=(5, 4)))
+        with no_grad():
+            out = layer(emb, empty_adj, np.zeros(0))
+        assert out.shape == (5, 3)
+        assert np.isfinite(out.data).all()
+        # Zero neighborhood: output must equal agg(e, 0) exactly.
+        with no_grad():
+            expected = layer.aggregator(emb, Tensor(np.zeros((5, 4))))
+        np.testing.assert_array_equal(out.data, expected.data)
+
+    def test_uniform_weights_empty_graph(self, empty_adj):
+        assert uniform_edge_weights(empty_adj).shape == (0,)
 
 
 class TestCKATTraining:

@@ -14,7 +14,7 @@ from repro.analysis.sanitizer import (
     is_enabled,
     sanitized,
 )
-from repro.autograd import Adam, Parameter, Tensor
+from repro.autograd import Adam, Parameter, SparseRowGrad, Tensor
 from repro.autograd import functional as F
 
 
@@ -84,6 +84,54 @@ def test_step_rejects_nonfinite_gradient():
             opt.step()
     assert exc_info.value.kind == "inf"
     assert exc_info.value.op == "step[w]"
+
+
+# ------------------------------------------------------------- sparse grads
+def test_accumulate_grad_checks_sparse_values():
+    with sanitized():
+        p = Parameter(np.ones((4, 2)), name="emb.W")
+        bad = SparseRowGrad((4, 2), np.array([0, 2]), np.array([[1.0, np.nan], [0.0, 1.0]]))
+        with pytest.raises(SanitizerError) as exc_info:
+            p.accumulate_grad(bad)
+    assert exc_info.value.op == "accumulate_grad[emb.W]"
+    assert exc_info.value.kind == "nan"
+
+
+def test_step_rejects_nonfinite_sparse_gradient():
+    with sanitized():
+        p = Parameter(np.ones((4, 2)), name="w")
+        p.grad = SparseRowGrad((4, 2), np.array([1]), np.array([[np.inf, 0.0]]))
+        opt = Adam([p])
+        with pytest.raises(SanitizerError) as exc_info:
+            opt.step()
+    assert exc_info.value.kind == "inf"
+    assert exc_info.value.op == "step[w]"
+
+
+def test_step_rejects_sparse_shape_drift():
+    with sanitized():
+        p = Parameter(np.ones((4, 2)), name="w")
+        p.grad = SparseRowGrad((5, 2), np.array([0]), np.array([[1.0, 1.0]]))
+        opt = Adam([p])
+        with pytest.raises(SanitizerError) as exc_info:
+            opt.step()
+    assert exc_info.value.kind == "shape"
+    assert exc_info.value.op == "step[w]"
+
+
+def test_sparse_embedding_training_clean_under_sanitizer():
+    rng = np.random.default_rng(1)
+    with sanitized():
+        W = Parameter(rng.normal(size=(16, 4)), name="W")
+        opt = Adam([W], lr=0.01)
+        for _ in range(5):
+            opt.zero_grad()
+            idx = rng.integers(0, 16, size=8)
+            loss = F.sum(F.mul(F.take_rows(W, idx), F.take_rows(W, idx)))
+            loss.backward()
+            assert isinstance(W.grad, SparseRowGrad)
+            opt.step()
+    assert np.isfinite(W.data).all()
 
 
 # -------------------------------------------------------------- dtype upcast

@@ -13,7 +13,7 @@ from repro.io.checkpoints import (
     save_parameters,
     save_training_checkpoint,
 )
-from repro.models import BPRMF, CKE
+from repro.models import BPRMF, CKAT, CKATConfig, CKE, NFM, ItemFeatureTable
 from repro.models.base import FitConfig
 
 
@@ -145,6 +145,91 @@ class TestKillAndResume:
             checkpoint_path=ck,
         )
         resumed = CKE(M, N, ooi_ckg_best, dim=8, seed=0)
+        resumed.fit(ooi_split.train, cfg, resume_from=ck)
+        assert _params_equal(straight, resumed)
+
+
+class TestExtraRngState:
+    """Auxiliary-RNG checkpoint hooks (dropout generators live outside the
+    training loop's rng, so they need their own save/restore channel)."""
+
+    def test_base_recommender_has_no_extra_state(self):
+        assert BPRMF(4, 5, dim=2, seed=0).extra_rng_state() is None
+
+    def test_restore_without_implementation_raises(self):
+        model = BPRMF(4, 5, dim=2, seed=0)
+        with pytest.raises(NotImplementedError, match="restore_extra_rng_state"):
+            model.restore_extra_rng_state({"dropout": {}})
+
+    def test_nfm_dropout_rng_roundtrip(self, ooi_split, ooi_ckg_best):
+        M, N = ooi_split.train.num_users, ooi_split.train.num_items
+        model = NFM(M, N, ItemFeatureTable(ooi_ckg_best), dim=8, hidden_dim=8, seed=0)
+        state = model.extra_rng_state()
+        assert "dropout" in state
+        first = model._rng.normal(size=16)
+        model.restore_extra_rng_state(state)
+        replay = model._rng.normal(size=16)
+        np.testing.assert_array_equal(first, replay)
+
+    def test_checkpoint_carries_extra_rng_state(self, tmp_path):
+        extra = {"dropout": np.random.default_rng(9).bit_generator.state}
+        ckpt = TrainingCheckpoint(
+            epoch=1,
+            params={"w": np.zeros((2, 2))},
+            optimizer_state={"version": 1, "type": "SGD", "step_count": 2, "slots": {}},
+            rng_state=np.random.default_rng(1).bit_generator.state,
+            losses=[1.0],
+            extra_losses=[0.0],
+            eval_history=[],
+            best_score=None,
+            best_snapshot=None,
+            seconds=0.1,
+            config={"epochs": 2, "batch_size": 8, "lr": 0.01, "l2": 0.0, "seed": 0},
+            extra_rng_state=extra,
+        )
+        save_training_checkpoint(tmp_path / "x.ckpt", ckpt)
+        loaded = load_training_checkpoint(tmp_path / "x.ckpt")
+        assert loaded.extra_rng_state == extra
+
+    def test_checkpoint_without_extra_state_loads_none(self, tmp_path):
+        ckpt = TrainingCheckpoint(
+            epoch=1,
+            params={"w": np.zeros((2, 2))},
+            optimizer_state={"version": 1, "type": "SGD", "step_count": 2, "slots": {}},
+            rng_state=np.random.default_rng(1).bit_generator.state,
+            losses=[1.0],
+            extra_losses=[0.0],
+            eval_history=[],
+            best_score=None,
+            best_snapshot=None,
+            seconds=0.1,
+            config={"epochs": 2, "batch_size": 8, "lr": 0.01, "l2": 0.0, "seed": 0},
+        )
+        save_training_checkpoint(tmp_path / "y.ckpt", ckpt)
+        assert load_training_checkpoint(tmp_path / "y.ckpt").extra_rng_state is None
+
+    @pytest.mark.slow
+    def test_ckat_dropout_resume_bit_identical(self, ooi_split, ooi_ckg_best, tmp_path):
+        """CKAT with dropout consumes its private dropout generator every
+        forward pass; without the extra-rng channel a resumed run replays
+        different masks and silently diverges."""
+        M, N = ooi_split.train.num_users, ooi_split.train.num_items
+        cfg_kwargs = dict(
+            dim=8, relation_dim=8, layer_dims=(8, 4), dropout=0.1, kg_steps_per_epoch=2
+        )
+        cfg = FitConfig(epochs=4, batch_size=256, seed=0)
+        straight = CKAT(M, N, ooi_ckg_best, CKATConfig(**cfg_kwargs), seed=0)
+        straight.fit(ooi_split.train, cfg)
+
+        ck = tmp_path / "ckat.ckpt.npz"
+        part = CKAT(M, N, ooi_ckg_best, CKATConfig(**cfg_kwargs), seed=0)
+        part.fit(
+            ooi_split.train,
+            FitConfig(epochs=2, batch_size=256, seed=0),
+            checkpoint_every=2,
+            checkpoint_path=ck,
+        )
+        resumed = CKAT(M, N, ooi_ckg_best, CKATConfig(**cfg_kwargs), seed=0)
         resumed.fit(ooi_split.train, cfg, resume_from=ck)
         assert _params_equal(straight, resumed)
 
