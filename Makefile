@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke
+.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke store-smoke
 
-verify: lint typecheck smoke sparse-smoke
+verify: lint typecheck smoke sparse-smoke store-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -37,6 +37,11 @@ smoke:
 # timing run; `make -C . test` and the benchmarks cover the speedup gate).
 sparse-smoke:
 	$(PYTHON) -m pytest -q benchmarks/test_bench_sparse_grads.py -k "not speedup"
+
+# Artifact-store correctness gate at small scale (the 5x warm-vs-cold
+# speedup gate needs full-scale builds; benchmarks cover it).
+store-smoke:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_store.py -k "smoke"
 
 sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2

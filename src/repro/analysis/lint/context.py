@@ -55,6 +55,12 @@ class LintConfig:
     construction, and should emit a
     :class:`~repro.autograd.sparse.SparseRowGrad` instead."""
 
+    persistence_paths: Tuple[str, ...] = ("repro/io/", "repro/store/")
+    """The sanctioned persistence funnels: only here may code call the raw
+    numpy save/load entry points (RPL009).  Everything else goes through
+    :mod:`repro.io` checkpoints or :mod:`repro.store` artifacts, which own
+    atomic writes, ``allow_pickle=False`` and verification."""
+
 
 DEFAULT_CONFIG = LintConfig()
 
@@ -98,6 +104,10 @@ class LintContext:
     @property
     def in_scatter_path(self) -> bool:
         return _matches(self.path, self.config.scatter_paths)
+
+    @property
+    def in_persistence_path(self) -> bool:
+        return _matches(self.path, self.config.persistence_paths)
 
     # -------------------------------------------------------------- lexical
     @property

@@ -9,12 +9,16 @@ Commands
   save a checkpoint (``--save model.npz``);
 - ``recommend <dataset> <user>`` — train CKAT and print top-K items;
 - ``report <run.jsonl> ...``   — summarize JSONL run telemetry logs;
+- ``cache <ls|gc|path>``       — inspect / clear the content-addressed
+  artifact store (see ``--cache-dir``);
 - ``lint [paths ...]``         — run reprolint, the project-aware static
   analyzer (exit 0 clean / 1 findings / 2 internal error);
 - ``sanitize-run <model> <dataset>`` — train under the runtime numeric
   sanitizer (NaN/Inf, gradient shape, dtype-upcast detection).
 
-Common options: ``--scale small|full``, ``--seed N``, ``--epochs N``.
+Common options: ``--scale small|full``, ``--seed N``, ``--epochs N``, and
+``--cache-dir DIR`` (artifact store shared by every dataset-loading command;
+defaults to ``$REPRO_CACHE_DIR``, caching disabled when neither is set).
 Tables II–V accept ``--log-dir`` (JSONL telemetry per cell),
 ``--checkpoint-dir`` (resumable full-state checkpoints), and ``--resume``.
 The CLI is a thin veneer over :mod:`repro.experiments`; anything it prints
@@ -32,6 +36,7 @@ import numpy as np
 from repro.analysis import compute_distributions, pair_similarity_study, query_concentration
 from repro.experiments import figures, load_dataset, run_single_model, tables
 from repro.experiments.runner import MODEL_NAMES
+from repro.store import ArtifactStore, resolve_cache_dir
 
 __all__ = ["main", "build_parser"]
 
@@ -45,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", choices=("small", "full"), default="small")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed artifact store shared by dataset-loading "
+        "commands and `repro cache`; defaults to $REPRO_CACHE_DIR "
+        "(no caching when neither is set)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_analyze = sub.add_parser("analyze", help="Section-III trace statistics")
@@ -99,6 +112,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="summarize a JSONL run telemetry log")
     p_report.add_argument("log", type=str, nargs="+", help="path(s) to .jsonl run logs")
 
+    p_cache = sub.add_parser("cache", help="inspect / clear the artifact store")
+    p_cache.add_argument(
+        "action",
+        choices=("ls", "gc", "path"),
+        help="ls: list verified artifacts; gc: remove artifacts and stray "
+        "tmp dirs; path: print the resolved store root",
+    )
+    p_cache.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        help="restrict ls/gc to an artifact kind (trace, split, ckg, graph); "
+        "repeatable",
+    )
+
     p_lint = sub.add_parser("lint", help="run reprolint (project-aware static analysis)")
     p_lint.add_argument(
         "paths", type=str, nargs="*", default=["src"], help="files or directories to lint"
@@ -121,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_analyze(args) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed, cache_dir=args.cache_dir)
     print(ds.describe())
     summary = compute_distributions(ds.trace, ds.catalog).summary()
     print("per-user distributions:", {k: round(v, 3) for k, v in summary.items()})
@@ -134,8 +162,8 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_table(args) -> int:
     datasets = [
-        load_dataset("ooi", scale=args.scale, seed=args.seed),
-        load_dataset("gage", scale=args.scale, seed=args.seed),
+        load_dataset("ooi", scale=args.scale, seed=args.seed, cache_dir=args.cache_dir),
+        load_dataset("gage", scale=args.scale, seed=args.seed, cache_dir=args.cache_dir),
     ]
     kw = dict(
         epochs=args.epochs,
@@ -159,8 +187,8 @@ def _cmd_table(args) -> int:
 
 def _cmd_figure(args) -> int:
     datasets = [
-        load_dataset("ooi", scale=args.scale, seed=args.seed),
-        load_dataset("gage", scale=args.scale, seed=args.seed),
+        load_dataset("ooi", scale=args.scale, seed=args.seed, cache_dir=args.cache_dir),
+        load_dataset("gage", scale=args.scale, seed=args.seed, cache_dir=args.cache_dir),
     ]
     if args.number == 3:
         _, text = figures.figure3(datasets)
@@ -173,7 +201,7 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed, cache_dir=args.cache_dir)
     print(ds.describe())
     result = run_single_model(
         args.model,
@@ -208,6 +236,41 @@ def _cmd_report(args) -> int:
         if i:
             print()
         print(render_run_report(path))
+    return 0
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(value)} B"
+
+
+def _cmd_cache(args) -> int:
+    root = resolve_cache_dir(args.cache_dir)
+    if args.action == "path":
+        print(root if root is not None else "(cache disabled: no --cache-dir / $REPRO_CACHE_DIR)")
+        return 0
+    if root is None:
+        print("error: no cache configured (use --cache-dir or $REPRO_CACHE_DIR)", file=sys.stderr)
+        return 2
+    store = ArtifactStore(root)
+    kinds = args.kind if args.kind else None
+    if args.action == "ls":
+        rows = store.ls(kinds)
+        if not rows:
+            print(f"{root}: empty")
+            return 0
+        total = 0
+        for row in rows:
+            total += row.nbytes
+            print(f"{row.kind:8s} {row.digest[:16]}  {_format_bytes(row.nbytes):>10s}  {row.path.name}")
+        print(f"{len(rows)} artifact(s), {_format_bytes(total)} in {root}")
+        return 0
+    removed, reclaimed = store.gc(kinds)
+    print(f"removed {removed} artifact(s), reclaimed {_format_bytes(reclaimed)} from {root}")
     return 0
 
 
@@ -301,6 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "recommend": _cmd_recommend,
         "report": _cmd_report,
+        "cache": _cmd_cache,
         "lint": _cmd_lint,
         "sanitize-run": _cmd_sanitize_run,
     }[args.command]

@@ -29,6 +29,7 @@ from repro.data.interactions import InteractionDataset
 from repro.eval.evaluator import EvaluationResult, PerUserMetrics, RankingEvaluator
 from repro.io.checkpoints import load_parameters
 from repro.parallel.executor import MapExecutor, SerialExecutor, chunk_indices
+from repro.pipeline import DatasetRef
 from repro.utils.telemetry import RunLogger
 
 __all__ = ["SnapshotScorer", "EvalShard", "sharded_evaluate"]
@@ -82,15 +83,34 @@ class SnapshotScorer:
 
 @dataclasses.dataclass(frozen=True)
 class EvalShard:
-    """Picklable work unit: evaluate one contiguous user shard."""
+    """Picklable work unit: evaluate one contiguous user shard.
 
-    train: InteractionDataset
-    test: InteractionDataset
+    The split travels either inline (``train``/``test`` pickled arrays —
+    the legacy spelling) or by reference (``dataset_ref``): a ref-carrying
+    shard materializes its split through the worker's process-cached
+    :class:`~repro.pipeline.DatasetPipeline`, memory-mapping the cached
+    artifact when the ref names a cache dir.  All shards of one evaluation
+    then share a single split materialization per worker process instead of
+    each deserializing its own copy.
+    """
+
+    train: Optional[InteractionDataset]
+    test: Optional[InteractionDataset]
     users: np.ndarray
     score_fn: Callable[[np.ndarray], np.ndarray]
     k: int
     user_batch: int
     score_dtype: str
+    dataset_ref: Optional[DatasetRef] = None
+
+    def resolve_split(self) -> Tuple[InteractionDataset, InteractionDataset]:
+        """(train, test) for this shard, from inline arrays or the ref."""
+        if self.train is not None and self.test is not None:
+            return self.train, self.test
+        if self.dataset_ref is None:
+            raise ValueError("EvalShard needs either train/test or a dataset_ref")
+        split = self.dataset_ref.pipeline().split()
+        return split.train, split.test
 
 
 def _evaluate_shard(shard: EvalShard) -> Tuple[PerUserMetrics, float]:
@@ -101,9 +121,10 @@ def _evaluate_shard(shard: EvalShard) -> Tuple[PerUserMetrics, float]:
     not queueing.
     """
     start = time.perf_counter()
+    train, test = shard.resolve_split()
     evaluator = RankingEvaluator(
-        shard.train,
-        shard.test,
+        train,
+        test,
         k=shard.k,
         user_batch=shard.user_batch,
         score_dtype=np.dtype(shard.score_dtype),
@@ -119,6 +140,7 @@ def sharded_evaluate(
     executor: Optional[MapExecutor] = None,
     users: Optional[np.ndarray] = None,
     logger: Optional[RunLogger] = None,
+    dataset_ref: Optional[DatasetRef] = None,
 ) -> EvaluationResult:
     """Evaluate ``score_fn`` with users split across ``num_shards`` workers.
 
@@ -143,6 +165,12 @@ def sharded_evaluate(
         Optional :class:`~repro.utils.telemetry.RunLogger`; emits one
         ``eval_shard`` event per shard (index, user count, worker-side
         seconds) plus a closing ``eval_sharded`` total.
+    dataset_ref:
+        When given, shards carry this lightweight ref instead of the pickled
+        train/test datasets; workers re-materialize the split through the
+        process-cached pipeline (identical arrays by construction).  The
+        ref's split MUST be the evaluator's split — it is the caller's
+        contract, same as passing a matching evaluator/score_fn pair.
 
     Returns
     -------
@@ -157,13 +185,14 @@ def sharded_evaluate(
     executor = executor or SerialExecutor()
     shards = [
         EvalShard(
-            train=evaluator.train,
-            test=evaluator.test,
+            train=None if dataset_ref is not None else evaluator.train,
+            test=None if dataset_ref is not None else evaluator.test,
             users=all_users[chunk.start : chunk.stop],
             score_fn=score_fn,
             k=evaluator.k,
             user_batch=evaluator.user_batch,
             score_dtype=evaluator.score_dtype.name,
+            dataset_ref=dataset_ref,
         )
         for chunk in chunk_indices(len(all_users), num_shards)
     ]

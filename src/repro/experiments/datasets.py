@@ -1,60 +1,103 @@
 """Benchmark dataset bundles.
 
-``load_dataset("ooi")`` / ``load_dataset("gage")`` build the full synthetic
-pipeline — catalog → users → trace → interactions → 80/20 split — at a fixed
-seed, reproducing the evaluation setup of Section VI-A.  ``scale="small"``
-yields a miniature variant for unit tests and quick benches.
+``load_dataset("ooi")`` / ``load_dataset("gage")`` reproduce the evaluation
+setup of Section VI-A — catalog → users → trace → interactions → 80/20
+split — at a fixed seed.  ``scale="small"`` yields a miniature variant for
+unit tests and quick benches.
+
+Since the artifact-pipeline refactor a :class:`BenchmarkDataset` is a *lazy*
+view over a :class:`~repro.pipeline.DatasetPipeline`: nothing is built until
+an attribute is touched, and with a ``cache_dir`` the expensive stages come
+back as memory-mapped artifacts.  Laziness is what makes warm runs fast —
+a table harness that only needs the split and the prepared graph never pays
+for catalog, population or trace generation at all.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, Optional
+from typing import Optional
 
-
-from repro.data.interactions import InteractionDataset, trace_to_interactions
-from repro.data.split import TrainTestSplit, per_user_split
-from repro.facility.affinity import GAGE_AFFINITY, OOI_AFFINITY, AffinityModel
+from repro.data.interactions import InteractionDataset
+from repro.data.split import TrainTestSplit
+from repro.facility.affinity import AffinityModel
 from repro.facility.catalog import FacilityCatalog
-from repro.facility.gage import GAGEConfig, build_gage_catalog
-from repro.facility.ooi import OOIConfig, build_ooi_catalog
-from repro.facility.trace import QueryTrace, generate_trace
-from repro.facility.users import UserPopulation, build_user_population
-from repro.kg.ckg import CollaborativeKnowledgeGraph, build_ckg
+from repro.facility.trace import QueryTrace
+from repro.facility.users import UserPopulation
+from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import KnowledgeSources
-from repro.utils.rng import SeedSequenceFactory
-from repro.utils.validation import check_in_choices
+from repro.pipeline import DatasetPipeline, DatasetRef
+from repro.pipeline.stages import DATASET_NAMES
 
-__all__ = ["BenchmarkDataset", "load_dataset", "DATASET_NAMES"]
-
-DATASET_NAMES = ("ooi", "gage")
+__all__ = ["BenchmarkDataset", "load_dataset", "dataset_from_ref", "DATASET_NAMES"]
 
 
-@dataclasses.dataclass
 class BenchmarkDataset:
-    """Everything one evaluation run needs, built at a fixed seed."""
+    """Everything one evaluation run needs, materialized on demand.
 
-    name: str
-    catalog: FacilityCatalog
-    population: UserPopulation
-    affinity: AffinityModel
-    trace: QueryTrace
-    interactions: InteractionDataset
-    split: TrainTestSplit
-    seed: int
+    The attribute surface matches the eager dataclass this used to be
+    (``catalog``, ``population``, ``trace``, ``interactions``, ``split``,
+    ``build_ckg`` …), so consumers are unchanged; each property delegates to
+    the underlying pipeline, which memoizes in-process and optionally in the
+    artifact store.
+    """
+
+    def __init__(self, pipeline: DatasetPipeline):
+        self._pipeline = pipeline
+
+    # ------------------------------------------------------------- identity
+    @property
+    def pipeline(self) -> DatasetPipeline:
+        return self._pipeline
+
+    @property
+    def name(self) -> str:
+        return self._pipeline.name
+
+    @property
+    def seed(self) -> int:
+        return self._pipeline.seed
+
+    @property
+    def affinity(self) -> AffinityModel:
+        return self._pipeline.affinity
+
+    def ref(self) -> DatasetRef:
+        """Picklable handle for crossing process boundaries."""
+        return self._pipeline.ref()
+
+    # ---------------------------------------------------------------- stages
+    @property
+    def catalog(self) -> FacilityCatalog:
+        return self._pipeline.facility()[0]
+
+    @property
+    def population(self) -> UserPopulation:
+        return self._pipeline.facility()[1]
+
+    @property
+    def trace(self) -> QueryTrace:
+        return self._pipeline.trace()
+
+    @property
+    def interactions(self) -> InteractionDataset:
+        return self._pipeline.interactions()
+
+    @property
+    def split(self) -> TrainTestSplit:
+        return self._pipeline.split()
 
     def build_ckg(
         self, sources: KnowledgeSources = KnowledgeSources.best()
     ) -> CollaborativeKnowledgeGraph:
         """CKG over the *training* interactions with the given sources."""
-        return build_ckg(
-            self.catalog,
-            self.population,
-            self.split.train.user_ids,
-            self.split.train.item_ids,
-            sources=sources,
-            seed=self.seed,
-        )
+        return self._pipeline.ckg(sources)
+
+    def prepared_graph(
+        self, sources: KnowledgeSources = KnowledgeSources.best()
+    ) -> PreparedGraph:
+        """The shared graph runtime for the given sources."""
+        return self._pipeline.graph(sources)
 
     def describe(self) -> str:
         return (
@@ -63,19 +106,8 @@ class BenchmarkDataset:
             f"({len(self.split.train)} train / {len(self.split.test)} test)"
         )
 
-
-# Population scales per dataset/scale; chosen so the CKGs land in the
-# paper's Table-I size class ("full") or run in seconds ("small").
-_SCALES: Dict[str, Dict[str, dict]] = {
-    "ooi": {
-        "full": dict(num_users=300, num_orgs=40, num_cities=40, queries=60.0),
-        "small": dict(num_users=60, num_orgs=10, num_cities=10, queries=30.0),
-    },
-    "gage": {
-        "full": dict(num_users=900, num_orgs=120, num_cities=120, queries=60.0),
-        "small": dict(num_users=80, num_orgs=12, num_cities=12, queries=30.0),
-    },
-}
+    def __repr__(self) -> str:
+        return f"BenchmarkDataset({self._pipeline.describe()})"
 
 
 def load_dataset(
@@ -83,8 +115,9 @@ def load_dataset(
     scale: str = "full",
     seed: int = 7,
     affinity: Optional[AffinityModel] = None,
+    cache_dir=None,
 ) -> BenchmarkDataset:
-    """Build a benchmark dataset bundle.
+    """Build a (lazy) benchmark dataset bundle.
 
     Parameters
     ----------
@@ -97,50 +130,20 @@ def load_dataset(
         from it, so the bundle is bit-for-bit reproducible.
     affinity:
         Override the calibrated affinity preset (used by ablations).
+    cache_dir:
+        Artifact-store root; stages persist/load content-addressed
+        artifacts there.  ``None`` honors ``$REPRO_CACHE_DIR``; empty
+        environment means no caching.
     """
-    check_in_choices("name", name, DATASET_NAMES)
-    check_in_choices("scale", scale, ("full", "small"))
-    cfg = _SCALES[name][scale]
-    seeds = SeedSequenceFactory(seed)
-
-    if name == "ooi":
-        catalog = build_ooi_catalog(
-            OOIConfig() if scale == "full" else OOIConfig(num_sites=30),
-            seed=seeds.get("catalog"),
-        )
-        aff = affinity if affinity is not None else OOI_AFFINITY
-    else:
-        catalog = build_gage_catalog(
-            GAGEConfig()
-            if scale == "full"
-            else GAGEConfig(num_stations=120, num_cities=60),
-            seed=seeds.get("catalog"),
-        )
-        aff = affinity if affinity is not None else GAGE_AFFINITY
-
-    population = build_user_population(
-        catalog,
-        num_users=cfg["num_users"],
-        num_orgs=cfg["num_orgs"],
-        num_cities=cfg["num_cities"],
-        seed=seeds.get("population"),
-    )
-    trace = generate_trace(
-        catalog,
-        population,
-        aff,
-        seed=seeds.get("trace"),
-        queries_per_user_mean=cfg["queries"],
-    )
-    interactions = trace_to_interactions(trace)
-    split = per_user_split(interactions, train_fraction=0.8, seed=seeds.get("split"))
     return BenchmarkDataset(
-        name=name,
-        catalog=catalog,
-        population=population,
-        affinity=aff,
-        trace=trace,
-        interactions=interactions,
-        split=split,
-        seed=seed,
+        DatasetPipeline(name, scale=scale, seed=seed, affinity=affinity, cache_dir=cache_dir)
     )
+
+
+def dataset_from_ref(ref: DatasetRef) -> BenchmarkDataset:
+    """Materialize the dataset a :class:`DatasetRef` names.
+
+    Worker-process entry point: the underlying pipeline is process-cached,
+    so shards and model cells in one worker share stage materializations.
+    """
+    return BenchmarkDataset(ref.pipeline())

@@ -11,15 +11,18 @@ values its grid most often selects, overridable per call).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import pathlib
 import re
 import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.eval.evaluator import RankingEvaluator
-from repro.experiments.datasets import BenchmarkDataset, load_dataset
+from repro.experiments.datasets import BenchmarkDataset, dataset_from_ref, load_dataset
 from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import KnowledgeSources
+from repro.pipeline import DatasetRef
 from repro.models import (
     BPRMF,
     CFKG,
@@ -58,8 +61,14 @@ def build_model(
     ckg: CollaborativeKnowledgeGraph,
     seed: int = 0,
     ckat_config: Optional[CKATConfig] = None,
+    graph: Optional[PreparedGraph] = None,
 ) -> Recommender:
-    """Instantiate a registry model with the paper's hyperparameters."""
+    """Instantiate a registry model with the paper's hyperparameters.
+
+    ``graph`` optionally injects the shared :class:`PreparedGraph` so the
+    KG-aware models reuse one set of derived adjacencies instead of each
+    re-deriving them from ``ckg`` (bit-identical either way).
+    """
     M = dataset.split.train.num_users
     N = dataset.split.train.num_items
     if name == "BPRMF":
@@ -69,15 +78,15 @@ def build_model(
     if name == "NFM":
         return NFM(M, N, ItemFeatureTable(ckg), dim=64, hidden_dim=64, dropout=0.1, seed=seed)
     if name == "CKE":
-        return CKE(M, N, ckg, dim=64, seed=seed)
+        return CKE(M, N, ckg, dim=64, seed=seed, graph=graph)
     if name == "CFKG":
-        return CFKG(M, N, ckg, dim=64, seed=seed)
+        return CFKG(M, N, ckg, dim=64, seed=seed, graph=graph)
     if name == "RippleNet":
-        return RippleNet(M, N, ckg, dataset.split.train, dim=16, n_hop=2, seed=seed)
+        return RippleNet(M, N, ckg, dataset.split.train, dim=16, n_hop=2, seed=seed, graph=graph)
     if name == "KGCN":
-        return KGCN(M, N, ckg, dim=64, neighbor_size=16, n_iter=1, seed=seed)
+        return KGCN(M, N, ckg, dim=64, neighbor_size=16, n_iter=1, seed=seed, graph=graph)
     if name == "CKAT":
-        return CKAT(M, N, ckg, ckat_config or CKATConfig(), seed=seed)
+        return CKAT(M, N, ckg, ckat_config or CKATConfig(), seed=seed, graph=graph)
     raise ValueError(f"unknown model {name!r}; known: {MODEL_NAMES}")
 
 
@@ -128,14 +137,24 @@ class RunResult:
 
 
 def _run_slug(label: str, dataset_name: str) -> str:
-    """Filesystem-safe per-run file stem (labels may hold spaces, '/', '+')."""
-    return re.sub(r"[^A-Za-z0-9_.-]+", "_", f"{label}_{dataset_name}").strip("_")
+    """Filesystem-safe per-run file stem (labels may hold spaces, '/', '+').
+
+    Sanitizing alone is lossy — ``"lr 0.01"`` and ``"lr/0.01"`` both map to
+    ``lr_0.01``, so two distinct runs would share a telemetry file and a
+    checkpoint slot.  A short digest of the *unsanitized* identity
+    disambiguates while keeping the stem human-readable.
+    """
+    raw = f"{label}\x1f{dataset_name}"
+    sanitized = re.sub(r"[^A-Za-z0-9_.-]+", "_", f"{label}_{dataset_name}").strip("_")
+    suffix = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:8]
+    return f"{sanitized}-{suffix}"
 
 
 def run_single_model(
     name: str,
     dataset: BenchmarkDataset,
     ckg: Optional[CollaborativeKnowledgeGraph] = None,
+    graph: Optional[PreparedGraph] = None,
     epochs: Optional[int] = None,
     seed: int = 0,
     k: int = 20,
@@ -162,7 +181,12 @@ def run_single_model(
     """
     if ckg is None:
         ckg = dataset.build_ckg(sources)
-    model = build_model(name, dataset, ckg, seed=seed, ckat_config=ckat_config)
+        if graph is None:
+            # Safe to share only when the CKG came from the dataset's own
+            # pipeline: a caller-supplied CKG may differ in content while
+            # matching in size, which check_compatible cannot see.
+            graph = dataset.prepared_graph(sources)
+    model = build_model(name, dataset, ckg, seed=seed, ckat_config=ckat_config, graph=graph)
     fit_cfg = default_fit_config(name, epochs=epochs, seed=seed)
     evaluator = RankingEvaluator(dataset.split.train, dataset.split.test, k=k)
     eval_callback = None
@@ -197,6 +221,16 @@ def run_single_model(
         result = evaluator.evaluate(model.score_users)
         eval_seconds = time.perf_counter() - t0
         if logger is not None:
+            pipeline = getattr(dataset, "pipeline", None)
+            if pipeline is not None:
+                # Stage-build accounting: lets a warm-cache run *prove* it
+                # regenerated nothing (all stages loaded, zero built).
+                store = pipeline.store
+                logger.log(
+                    "pipeline_stages",
+                    stages=pipeline.stage_counters(),
+                    store=store.stats() if store is not None else None,
+                )
             logger.log(
                 "cell_end",
                 label=label or name,
@@ -230,16 +264,20 @@ class CellSpec:
     the paper's Tables II–V are made of.  Cells share nothing at runtime, so
     they can fan out across a :class:`~repro.parallel.executor.ProcessExecutor`.
 
-    ``dataset`` is either a loaded :class:`BenchmarkDataset` (pickled to the
-    worker, guaranteeing the exact same data as a serial run) or a dataset
-    name, rebuilt in the worker via :func:`load_dataset` with
-    ``dataset_scale``/``dataset_seed`` — bit-identical by construction since
-    the bundles are pure functions of their seed.
+    ``dataset`` is preferably a lightweight
+    :class:`~repro.pipeline.DatasetRef` — the worker materializes the stages
+    it needs through its process-cached pipeline (memory-mapping artifacts
+    when the ref carries a cache dir) instead of receiving pickled arrays.
+    A dataset name string (rebuilt via :func:`load_dataset` with
+    ``dataset_scale``/``dataset_seed``/``cache_dir``) and a full
+    :class:`BenchmarkDataset` remain accepted; all three spellings are
+    bit-identical by construction since the bundles are pure functions of
+    their seed.
     """
 
     label: str
     model: str
-    dataset: Union[str, BenchmarkDataset]
+    dataset: Union[str, DatasetRef, BenchmarkDataset]
     dataset_scale: str = "full"
     dataset_seed: int = 7
     epochs: Optional[int] = None
@@ -252,13 +290,18 @@ class CellSpec:
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 10
     resume: bool = False
+    cache_dir: Optional[str] = None
 
 
 def run_cell(spec: CellSpec) -> RunResult:
     """Execute one cell (worker entry point — module-level, picklable)."""
     dataset = spec.dataset
-    if isinstance(dataset, str):
-        dataset = load_dataset(dataset, scale=spec.dataset_scale, seed=spec.dataset_seed)
+    if isinstance(dataset, DatasetRef):
+        dataset = dataset_from_ref(dataset)
+    elif isinstance(dataset, str):
+        dataset = load_dataset(
+            dataset, scale=spec.dataset_scale, seed=spec.dataset_seed, cache_dir=spec.cache_dir
+        )
     return run_single_model(
         spec.model,
         dataset,

@@ -132,11 +132,14 @@ def table2(
     results: Dict[Tuple[str, str], RunResult] = {}
     telemetry = _telemetry_kw(log_dir, checkpoint_dir, resume)
     if num_workers > 1:
+        # Workers receive lightweight refs, not pickled datasets; each
+        # worker's process-cached pipeline materializes (or mmap-loads) the
+        # stages once and shares them across its cells.
         specs = [
             CellSpec(
                 label=name,
                 model=name,
-                dataset=ds,
+                dataset=ds.ref(),
                 epochs=epochs,
                 seed=seed,
                 log_dir=str(log_dir) if log_dir else None,
@@ -149,11 +152,12 @@ def table2(
         for spec, r in run_cells(specs, num_workers=num_workers):
             results[(spec.model, r.dataset)] = r
     else:
-        ckgs = {ds.name: ds.build_ckg(KnowledgeSources.best()) for ds in datasets}
+        # The pipeline memoizes the CKG and prepared graph per dataset, so
+        # every model in the loop shares one build.
         for name in models:
             for ds in datasets:
                 results[(name, ds.name)] = run_single_model(
-                    name, ds, ckg=ckgs[ds.name], epochs=epochs, seed=seed, **telemetry
+                    name, ds, epochs=epochs, seed=seed, **telemetry
                 )
     headers = ["model"]
     for ds in datasets:
@@ -202,7 +206,7 @@ def table3(
             CellSpec(
                 label=label,
                 model="CKAT",
-                dataset=ds,
+                dataset=ds.ref(),
                 epochs=epochs,
                 seed=seed,
                 sources=sources,
@@ -257,7 +261,7 @@ def table4(
             CellSpec(
                 label=label,
                 model="CKAT",
-                dataset=ds,
+                dataset=ds.ref(),
                 epochs=epochs,
                 seed=seed,
                 ckat_config=cfg,
@@ -272,12 +276,10 @@ def table4(
             results[(spec.label, r.dataset)] = r
     else:
         for ds in datasets:
-            ckg = ds.build_ckg(KnowledgeSources.best())
             for label, cfg in variants:
                 results[(label, ds.name)] = run_single_model(
                     "CKAT",
                     ds,
-                    ckg=ckg,
                     epochs=epochs,
                     seed=seed,
                     ckat_config=cfg,
@@ -320,7 +322,7 @@ def table5(
             CellSpec(
                 label=label,
                 model="CKAT",
-                dataset=ds,
+                dataset=ds.ref(),
                 epochs=epochs,
                 seed=seed,
                 ckat_config=cfg,
@@ -335,12 +337,10 @@ def table5(
             results[(spec.label, r.dataset)] = r
     else:
         for ds in datasets:
-            ckg = ds.build_ckg(KnowledgeSources.best())
             for label, cfg in depths:
                 results[(label, ds.name)] = run_single_model(
                     "CKAT",
                     ds,
-                    ckg=ckg,
                     epochs=epochs,
                     seed=seed,
                     ckat_config=cfg,

@@ -29,6 +29,7 @@ from repro.kg.graph_analysis import (
 )
 from repro.kg.multi import MultiFacilityIndex, build_cross_facility_ckg
 from repro.kg.paths import RelationPath, explain_recommendation, find_paths
+from repro.kg.prepared import PreparedGraph
 from repro.kg.stats import CKGStats, compute_stats
 from repro.kg.subgraphs import KnowledgeSources, build_iag, build_uig, build_uug
 from repro.kg.triples import RelationRegistry, TripleStore
@@ -43,6 +44,7 @@ __all__ = [
     "CollaborativeKnowledgeGraph",
     "build_ckg",
     "CSRAdjacency",
+    "PreparedGraph",
     "sample_fixed_neighbors",
     "CKGStats",
     "compute_stats",

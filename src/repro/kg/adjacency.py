@@ -15,7 +15,7 @@ sentinel.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,16 +40,56 @@ class CSRAdjacency:
 
     def __init__(self, store: TripleStore):
         order = np.argsort(store.heads, kind="stable")
-        self.heads = store.heads[order]
-        self.rels = store.rels[order]
-        self.tails = store.tails[order]
-        self.num_entities = store.num_entities
-        self.num_relations = store.num_relations
+        self._init_from_sorted(
+            store.heads[order],
+            store.rels[order],
+            store.tails[order],
+            store.num_entities,
+            store.num_relations,
+        )
+
+    def _init_from_sorted(self, heads, rels, tails, num_entities, num_relations) -> None:
+        self.heads = heads
+        self.rels = rels
+        self.tails = tails
+        self.num_entities = num_entities
+        self.num_relations = num_relations
         counts = np.bincount(self.heads, minlength=self.num_entities)
         self.offsets = np.zeros(self.num_entities + 1, dtype=np.int64)
         np.cumsum(counts, out=self.offsets[1:])
         # Per-edge head index replicated for segment ops that need it.
         self.edge_head = self.heads  # alias; already sorted by head
+        self._relation_groups: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        heads: np.ndarray,
+        rels: np.ndarray,
+        tails: np.ndarray,
+        num_entities: int,
+        num_relations: int,
+        relation_groups: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> "CSRAdjacency":
+        """Rehydrate an adjacency from already-head-sorted edge arrays.
+
+        This is the artifact-store load path: the arrays come straight from
+        a :class:`~repro.store.ArtifactStore` memory map, so construction
+        must not re-sort (the stored order *is* the canonical order — a
+        re-sort could only agree, and would force a copy of every page).
+        ``relation_groups`` optionally pre-seeds the
+        :meth:`relation_edge_groups` cache with stored arrays.
+        """
+        if not (len(heads) == len(rels) == len(tails)):
+            raise ValueError("edge arrays must have equal length")
+        if len(heads) and np.any(np.diff(heads) < 0):
+            raise ValueError("heads must be sorted ascending")
+        self = cls.__new__(cls)
+        self._init_from_sorted(heads, rels, tails, int(num_entities), int(num_relations))
+        if relation_groups is not None:
+            order, bounds = relation_groups
+            self._relation_groups = (order, bounds)
+        return self
 
     @property
     def num_edges(self) -> int:
@@ -72,16 +112,22 @@ class CSRAdjacency:
         delimits each relation's block.  CKAT applies the per-relation
         transform ``W_r`` with one batched matmul per relation using this
         grouping.
+
+        The grouping is a pure function of the edge arrays (stable argsort),
+        so it is deterministic across processes and cached after the first
+        call — every consumer of a shared adjacency sees the same arrays.
         """
-        order = np.argsort(self.rels, kind="stable")
-        counts = np.bincount(self.rels, minlength=self.num_relations)
-        bounds = np.zeros(self.num_relations + 1, dtype=np.int64)
-        np.cumsum(counts, out=bounds[1:])
-        return order, bounds
+        if self._relation_groups is None:
+            order = np.argsort(self.rels, kind="stable")
+            counts = np.bincount(self.rels, minlength=self.num_relations)
+            bounds = np.zeros(self.num_relations + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            self._relation_groups = (order, bounds)
+        return self._relation_groups
 
 
 def sample_fixed_neighbors(
-    store: TripleStore,
+    store: Union[TripleStore, CSRAdjacency],
     k: int,
     seed=0,
     num_entities: Optional[int] = None,
@@ -93,6 +139,13 @@ def sample_fixed_neighbors(
     relation 0 — a benign sentinel: their aggregated neighborhood then
     equals their own embedding.
 
+    ``store`` may be a raw :class:`~repro.kg.triples.TripleStore` or an
+    already-built :class:`CSRAdjacency` (the shared-graph path: a
+    :class:`~repro.kg.prepared.PreparedGraph` hands the same adjacency to
+    every consumer instead of each rebuilding it).  Both spellings draw the
+    same table for the same seed, because sampling only consumes the sorted
+    edge layout.
+
     Returns
     -------
     neighbor_entities, neighbor_relations:
@@ -101,8 +154,8 @@ def sample_fixed_neighbors(
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     rng = ensure_rng(seed)
-    n = num_entities if num_entities is not None else store.num_entities
-    adj = CSRAdjacency(store)
+    adj = store if isinstance(store, CSRAdjacency) else CSRAdjacency(store)
+    n = num_entities if num_entities is not None else adj.num_entities
     degrees = adj.degree()
     neighbor_entities = np.tile(np.arange(n, dtype=np.int64)[:, None], (1, k))
     neighbor_relations = np.zeros((n, k), dtype=np.int64)

@@ -18,7 +18,7 @@ models need:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,7 @@ class CollaborativeKnowledgeGraph:
         num_items: int,
         sources: KnowledgeSources,
         catalog_name: str,
+        propagation_store: Optional[TripleStore] = None,
     ):
         self.space = space
         self.store = store
@@ -57,7 +58,14 @@ class CollaborativeKnowledgeGraph:
         self.num_items = num_items
         self.sources = sources
         self.catalog_name = catalog_name
-        self.propagation_store = store.with_inverses(symmetric=(INTERACT,))
+        # ``propagation_store`` lets a cached build (repro.pipeline) hand the
+        # inverse-augmented triples back in directly instead of re-deriving
+        # them; derivation is deterministic, so both paths are identical.
+        self.propagation_store = (
+            propagation_store
+            if propagation_store is not None
+            else store.with_inverses(symmetric=(INTERACT,))
+        )
 
     # -------------------------------------------------------------- id maps
     @property

@@ -1,0 +1,185 @@
+"""The shared graph runtime: one :class:`PreparedGraph` per CKG.
+
+Every KG-aware model used to privately re-derive the same structures from
+the CKG at construction time — CKAT a :class:`~repro.kg.adjacency.CSRAdjacency`
+over the inverse-augmented store, KGCN and RippleNet another one over the
+knowledge-only (``interact``-free) subset, CKE a filtered canonical triple
+store.  :class:`PreparedGraph` derives each of them once, so
+
+- a table harness training eight models over one dataset builds the
+  adjacency once instead of five times;
+- the artifact pipeline (:mod:`repro.pipeline`) can persist the derived
+  arrays and memory-map them into worker processes, skipping the derivation
+  entirely on a warm cache.
+
+Derivations are lazy: a model that only needs the propagation adjacency
+never pays for the ripple-side structures.  All derivations are pure,
+deterministic functions of the CKG's triple arrays, so an injected graph is
+bit-identical to the one a model would have built for itself — the property
+``tests/test_prepared_graph.py`` locks down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.adjacency import CSRAdjacency
+from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.subgraphs import INTERACT
+from repro.kg.triples import TripleStore
+
+__all__ = ["PreparedGraph"]
+
+#: Bumped whenever the serialized array layout changes (see DESIGN.md §9).
+GRAPH_SCHEMA_VERSION = 1
+
+
+def _knowledge_filter(store: TripleStore) -> TripleStore:
+    """The non-``interact`` subset every knowledge-only consumer uses."""
+    return store.filter_relations([n for n in store.relations.names if n != INTERACT])
+
+
+class PreparedGraph:
+    """Reusable graph structures derived once from a CKG.
+
+    Attributes (lazily derived, or rehydrated from the artifact store):
+
+    ``propagation``
+        :class:`CSRAdjacency` over the inverse-augmented propagation store —
+        CKAT's message-passing layout (with its per-relation edge grouping
+        pre-warmed).
+    ``knowledge``
+        :class:`CSRAdjacency` over the knowledge-only (no ``interact``)
+        subset of the propagation store — RippleNet's ripple frontier and
+        the pool KGCN samples its fixed-size neighbor tables from.
+    ``canonical_kg``
+        Knowledge-only subset of the *canonical* (no-inverse) store, in
+        original triple order — what CKE's TransR phase samples from.
+    """
+
+    def __init__(self, ckg: Optional[CollaborativeKnowledgeGraph]):
+        self._ckg = ckg
+        self._propagation: Optional[CSRAdjacency] = None
+        self._knowledge: Optional[CSRAdjacency] = None
+        self._canonical_kg: Optional[TripleStore] = None
+        if ckg is not None:
+            self.num_entities = ckg.num_entities
+            self.num_propagation_relations = ckg.propagation_store.num_relations
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_ckg(cls, ckg: CollaborativeKnowledgeGraph) -> "PreparedGraph":
+        """Wrap a CKG; structures derive lazily on first access."""
+        return cls(ckg)
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray], meta: dict) -> "PreparedGraph":
+        """Rehydrate from artifact-store arrays (typically memory maps)."""
+        self = cls(None)
+        self.num_entities = int(meta["num_entities"])
+        self.num_propagation_relations = int(meta["num_propagation_relations"])
+        self._propagation = CSRAdjacency.from_arrays(
+            arrays["prop_heads"],
+            arrays["prop_rels"],
+            arrays["prop_tails"],
+            self.num_entities,
+            self.num_propagation_relations,
+            relation_groups=(arrays["prop_rel_order"], arrays["prop_rel_bounds"]),
+        )
+        self._knowledge = CSRAdjacency.from_arrays(
+            arrays["know_heads"],
+            arrays["know_rels"],
+            arrays["know_tails"],
+            self.num_entities,
+            self.num_propagation_relations,
+        )
+        canon = TripleStore(self.num_entities)
+        for name in meta["canonical_relation_names"]:
+            canon.relations.add(name)
+        canon.heads = np.asarray(arrays["canon_heads"])
+        canon.rels = np.asarray(arrays["canon_rels"])
+        canon.tails = np.asarray(arrays["canon_tails"])
+        self._canonical_kg = canon
+        return self
+
+    def to_arrays(self) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Serialize every derived structure for the artifact store."""
+        prop = self.propagation
+        know = self.knowledge
+        canon = self.canonical_kg
+        order, bounds = prop.relation_edge_groups()
+        arrays = {
+            "prop_heads": prop.heads,
+            "prop_rels": prop.rels,
+            "prop_tails": prop.tails,
+            "prop_rel_order": order,
+            "prop_rel_bounds": bounds,
+            "know_heads": know.heads,
+            "know_rels": know.rels,
+            "know_tails": know.tails,
+            "canon_heads": canon.heads,
+            "canon_rels": canon.rels,
+            "canon_tails": canon.tails,
+        }
+        meta = {
+            "num_entities": self.num_entities,
+            "num_propagation_relations": self.num_propagation_relations,
+            "canonical_relation_names": list(canon.relations.names),
+        }
+        return arrays, meta
+
+    # ------------------------------------------------------------- structures
+    @property
+    def propagation(self) -> CSRAdjacency:
+        if self._propagation is None:
+            self._propagation = CSRAdjacency(self._ckg.propagation_store)
+            self._propagation.relation_edge_groups()  # warm the shared cache
+        return self._propagation
+
+    @property
+    def knowledge(self) -> CSRAdjacency:
+        if self._knowledge is None:
+            self._knowledge = CSRAdjacency(_knowledge_filter(self._ckg.propagation_store))
+        return self._knowledge
+
+    @property
+    def canonical_kg(self) -> TripleStore:
+        if self._canonical_kg is None:
+            self._canonical_kg = _knowledge_filter(self._ckg.store)
+        return self._canonical_kg
+
+    # -------------------------------------------------------------- validation
+    def check_compatible(self, ckg: CollaborativeKnowledgeGraph) -> "PreparedGraph":
+        """Guard against injecting a graph prepared for a different CKG.
+
+        Cheap structural checks only (entity/relation counts) — content
+        equality holds by construction because both sides are pure functions
+        of the same build config; a size mismatch means the caller wired a
+        graph from another dataset, sources combination, or schema, which
+        would otherwise surface as silent index garbage deep in training.
+        """
+        if self.num_entities != ckg.num_entities:
+            raise ValueError(
+                f"PreparedGraph has {self.num_entities} entities but the CKG has "
+                f"{ckg.num_entities}; it was prepared for a different graph"
+            )
+        if self.num_propagation_relations != ckg.propagation_store.num_relations:
+            raise ValueError(
+                f"PreparedGraph has {self.num_propagation_relations} propagation "
+                f"relations but the CKG has {ckg.propagation_store.num_relations}; "
+                "it was prepared for a different source combination"
+            )
+        return self
+
+    def __repr__(self) -> str:
+        parts = []
+        if self._propagation is not None:
+            parts.append(f"propagation={self._propagation.num_edges} edges")
+        if self._knowledge is not None:
+            parts.append(f"knowledge={self._knowledge.num_edges} edges")
+        if self._canonical_kg is not None:
+            parts.append(f"canonical_kg={len(self._canonical_kg)} triples")
+        state = ", ".join(parts) if parts else "lazy"
+        return f"PreparedGraph({self.num_entities} entities, {state})"

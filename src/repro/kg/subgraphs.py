@@ -123,6 +123,15 @@ class EntitySpace:
             raise ValueError(f"local id out of range for block {name!r} of size {size}")
         return local + offset
 
+    def blocks(self) -> List[Tuple[str, int]]:
+        """(name, size) of every block in allocation order.
+
+        Allocation order determines every offset, so this listing is a
+        complete serialization of the space — the artifact pipeline stores
+        it and rebuilds an identical space with :meth:`add_block` calls.
+        """
+        return [(name, size) for name, (_, size) in self._blocks.items()]
+
     def owner_of(self, global_id: int) -> str:
         """Name of the block containing ``global_id``."""
         for name, (offset, size) in self._blocks.items():

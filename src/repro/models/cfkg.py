@@ -13,13 +13,14 @@ stabilize top-K evaluation; the original paper ranks by distance as well).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.autograd import Adam, Parameter, Tensor
 from repro.autograd import functional as F
 from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import INTERACT
 from repro.models.base import FitConfig, Recommender, batch_l2
 from repro.models.embeddings import TransE
@@ -43,6 +44,7 @@ class CFKG(Recommender):
         kg_batch_size: int = 1024,
         kg_steps_per_epoch: int = 20,
         seed=0,
+        graph: Optional[PreparedGraph] = None,
     ):
         super().__init__(num_users, num_items)
         rng = ensure_rng(seed)
@@ -50,6 +52,10 @@ class CFKG(Recommender):
         self.kg_batch_size = kg_batch_size
         self.kg_steps_per_epoch = kg_steps_per_epoch
         self.ckg = ckg
+        # CFKG trains TransE on ckg.store directly; a supplied graph is only
+        # validated so the harness can pass one uniformly to every model.
+        if graph is not None:
+            graph.check_compatible(ckg)
         self.transe = TransE(
             num_entities=ckg.num_entities,
             num_relations=max(ckg.store.num_relations, 1),

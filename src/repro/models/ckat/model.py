@@ -32,6 +32,7 @@ from repro.autograd import Adam, Parameter, Tensor, no_grad
 from repro.autograd import functional as F
 from repro.kg.adjacency import CSRAdjacency
 from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.models.base import FitConfig, Recommender, batch_l2
 from repro.models.ckat.layers import (
     PropagationLayer,
@@ -100,12 +101,19 @@ class CKAT(Recommender):
         ckg: CollaborativeKnowledgeGraph,
         config: CKATConfig = CKATConfig(),
         seed=0,
+        graph: Optional[PreparedGraph] = None,
     ):
         super().__init__(num_users, num_items)
         rng = ensure_rng(seed)
         self.config = config
         self.ckg = ckg
-        self.adj = CSRAdjacency(ckg.propagation_store)
+        # A shared PreparedGraph (table harness / artifact cache) supplies
+        # the propagation adjacency pre-built; deriving it here is the
+        # bit-identical fallback.
+        if graph is not None:
+            self.adj = graph.check_compatible(ckg).propagation
+        else:
+            self.adj = CSRAdjacency(ckg.propagation_store)
         self.transr = TransR(
             num_entities=ckg.num_entities,
             num_relations=max(ckg.propagation_store.num_relations, 1),

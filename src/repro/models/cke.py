@@ -14,13 +14,14 @@ the KGAT-family reference code).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.autograd import Adam, Parameter, Tensor, xavier_uniform
 from repro.autograd import functional as F
 from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import INTERACT
 from repro.models.base import FitConfig, Recommender, batch_l2
 from repro.models.embeddings import TransR
@@ -45,6 +46,7 @@ class CKE(Recommender):
         kg_batch_size: int = 1024,
         kg_steps_per_epoch: int = 20,
         seed=0,
+        graph: Optional[PreparedGraph] = None,
     ):
         super().__init__(num_users, num_items)
         rng = ensure_rng(seed)
@@ -54,9 +56,15 @@ class CKE(Recommender):
         self.kg_steps_per_epoch = kg_steps_per_epoch
         self.ckg = ckg
         # Knowledge triples only (drop the interact relation) — CKE's TransR
-        # component models item structure, not interactions.
-        kg_relations = [n for n in ckg.store.relations.names if n != INTERACT]
-        self.kg_store = ckg.store.filter_relations(kg_relations)
+        # component models item structure, not interactions.  The filtered
+        # store keeps the canonical triple order (TransR sampling indexes it
+        # uniformly), which is exactly what PreparedGraph.canonical_kg
+        # preserves on the shared/cached path.
+        if graph is not None:
+            self.kg_store = graph.check_compatible(ckg).canonical_kg
+        else:
+            kg_relations = [n for n in ckg.store.relations.names if n != INTERACT]
+            self.kg_store = ckg.store.filter_relations(kg_relations)
         self.user_emb = Parameter(xavier_uniform((num_users, dim), rng), name="cke.user")
         self.item_emb = Parameter(xavier_uniform((num_items, dim), rng), name="cke.item")
         self.transr = TransR(

@@ -16,7 +16,7 @@ little at small k.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.autograd import Parameter, Tensor, xavier_uniform
 from repro.autograd import functional as F
 from repro.kg.adjacency import sample_fixed_neighbors
 from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import INTERACT
 from repro.models.base import Recommender, batch_l2
 from repro.utils.rng import ensure_rng
@@ -46,6 +47,7 @@ class KGCN(Recommender):
         n_iter: int = 1,
         l2: float = 1e-5,
         seed=0,
+        graph: Optional[PreparedGraph] = None,
     ):
         super().__init__(num_users, num_items)
         if dim <= 0 or neighbor_size <= 0 or n_iter <= 0:
@@ -56,8 +58,15 @@ class KGCN(Recommender):
         self.n_iter = n_iter
         self.l2 = l2
         self.ckg = ckg
-        kg_relations = [n for n in ckg.propagation_store.relations.names if n != INTERACT]
-        kg_store = ckg.propagation_store.filter_relations(kg_relations)
+        # The knowledge-only adjacency can come pre-built from a shared
+        # PreparedGraph; the neighbor table itself is still drawn with this
+        # model's rng (it is a modeling choice, not graph structure), and
+        # both spellings sample identically from the same sorted layout.
+        if graph is not None:
+            kg_store = graph.check_compatible(ckg).knowledge
+        else:
+            kg_relations = [n for n in ckg.propagation_store.relations.names if n != INTERACT]
+            kg_store = ckg.propagation_store.filter_relations(kg_relations)
         self.neigh_ent, self.neigh_rel = sample_fixed_neighbors(
             kg_store, k=neighbor_size, seed=rng, num_entities=ckg.num_entities
         )

@@ -19,7 +19,7 @@ shared BPR protocol.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.autograd import functional as F
 from repro.data.interactions import InteractionDataset
 from repro.kg.adjacency import CSRAdjacency
 from repro.kg.ckg import CollaborativeKnowledgeGraph
+from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import INTERACT
 from repro.models.base import Recommender, batch_l2
 from repro.utils.rng import ensure_rng
@@ -51,6 +52,7 @@ class RippleNet(Recommender):
         n_memory: int = 32,
         l2: float = 1e-5,
         seed=0,
+        graph: Optional[PreparedGraph] = None,
     ):
         super().__init__(num_users, num_items)
         if dim <= 0 or n_hop <= 0 or n_memory <= 0:
@@ -61,15 +63,18 @@ class RippleNet(Recommender):
         self.n_memory = n_memory
         self.l2 = l2
         self.ckg = ckg
-        # Ripples flow over knowledge triples (+inverses), not interactions.
-        kg_relations = [n for n in ckg.propagation_store.relations.names if n != INTERACT]
-        kg_store = ckg.propagation_store.filter_relations(kg_relations)
-        self._adj = CSRAdjacency(kg_store)
+        # Ripples flow over knowledge triples (+inverses), not interactions;
+        # a shared PreparedGraph supplies that adjacency pre-built.
+        if graph is not None:
+            self._adj = graph.check_compatible(ckg).knowledge
+        else:
+            kg_relations = [n for n in ckg.propagation_store.relations.names if n != INTERACT]
+            self._adj = CSRAdjacency(ckg.propagation_store.filter_relations(kg_relations))
         self._item_entities = ckg.all_item_entities()
         self.entity_emb = Parameter(
             xavier_uniform((ckg.num_entities, dim), rng), name="ripple.entity"
         )
-        n_rel = max(kg_store.num_relations, 1)
+        n_rel = max(self._adj.num_relations, 1)
         self.relation_mats = Parameter(
             xavier_uniform((n_rel, dim, dim), rng), name="ripple.R"
         )

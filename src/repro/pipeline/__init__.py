@@ -1,0 +1,26 @@
+"""Staged, cacheable dataset construction: trace → split → CKG → graph.
+
+The paper's pipeline is a strict DAG (Sections III–VI): facility query
+traces feed the collaborative knowledge graph, the interaction split feeds
+both training and evaluation, and every KG-aware model consumes the same
+derived adjacency.  :class:`~repro.pipeline.stages.DatasetPipeline` makes
+that DAG explicit — each stage is a pure function of its config, keyed into
+a content-addressed :class:`~repro.store.ArtifactStore` so a warm run
+regenerates nothing and memory-maps everything.
+"""
+
+from repro.pipeline.stages import (
+    DatasetPipeline,
+    DatasetRef,
+    PIPELINE_STAGES,
+    global_stage_counters,
+    reset_global_stage_counters,
+)
+
+__all__ = [
+    "DatasetPipeline",
+    "DatasetRef",
+    "PIPELINE_STAGES",
+    "global_stage_counters",
+    "reset_global_stage_counters",
+]

@@ -67,3 +67,44 @@ class TestCommands:
 
     def test_recommend_bad_user(self, capsys):
         assert main(["recommend", "ooi", "99999", "--epochs", "1"]) == 2
+
+
+class TestCacheCommand:
+    def test_parser_accepts_cache_actions(self):
+        args = build_parser().parse_args(["--cache-dir", "/c", "cache", "ls", "--kind", "trace"])
+        assert args.command == "cache" and args.action == "ls"
+        assert args.cache_dir == "/c" and args.kind == ["trace"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
+    def test_path_reports_disabled_without_config(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "path"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_ls_and_gc_require_configured_cache(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "ls"]) == 2
+        assert main(["cache", "gc"]) == 2
+
+    def test_ls_gc_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        # populate the cache through a real (small) pipeline build
+        from repro.pipeline import DatasetPipeline
+
+        DatasetPipeline("ooi", scale="small", seed=7, cache_dir=cache).split()
+        assert main(["--cache-dir", cache, "cache", "path"]) == 0
+        assert cache in capsys.readouterr().out
+
+        assert main(["--cache-dir", cache, "cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "split" in out and "artifact(s)" in out
+
+        assert main(["--cache-dir", cache, "cache", "gc", "--kind", "trace"]) == 0
+        assert "removed 1 artifact(s)" in capsys.readouterr().out
+        assert main(["--cache-dir", cache, "cache", "ls"]) == 0
+        assert "trace" not in capsys.readouterr().out
+
+        assert main(["--cache-dir", cache, "cache", "gc"]) == 0
+        assert main(["--cache-dir", cache, "cache", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.datasets import load_dataset
-from repro.experiments.runner import CellSpec, run_cell, run_cells
+from repro.experiments.runner import CellSpec, _run_slug, run_cell, run_cells
 from repro.experiments.tables import table2
 from repro.parallel.executor import SerialExecutor
 
@@ -87,9 +87,10 @@ class TestRunCells:
         ]
         run_cells(specs, num_workers=2)
         for label in ("a", "b"):
-            events = read_run_log(tmp_path / "logs" / f"{label}_ooi.jsonl")
+            slug = _run_slug(label, "ooi")
+            events = read_run_log(tmp_path / "logs" / f"{slug}.jsonl")
             assert [e["event"] for e in events].count("epoch") == 1
-            assert (tmp_path / "ckpts" / f"{label}_ooi.ckpt.npz").exists()
+            assert (tmp_path / "ckpts" / f"{slug}.ckpt.npz").exists()
 
 
 @pytest.mark.slow

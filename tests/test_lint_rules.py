@@ -136,13 +136,15 @@ class TestNoPickle:
     def test_from_pickle_import_flagged(self):
         assert codes("from pickle import loads\n") == ["RPL005"]
 
+    # np.save is pinned to the persistence funnel so RPL009 stays out of the
+    # way and these assert RPL005 in isolation.
     def test_allow_pickle_true_flagged(self):
         src = "import numpy as np\ndef f(p, a):\n    np.save(p, a, allow_pickle=True)\n"
-        assert codes(src) == ["RPL005"]
+        assert codes(src, path="src/repro/io/mod.py") == ["RPL005"]
 
     def test_allow_pickle_false_clean(self):
         src = "import numpy as np\ndef f(p, a):\n    np.save(p, a, allow_pickle=False)\n"
-        assert codes(src) == []
+        assert codes(src, path="src/repro/io/mod.py") == []
 
 
 # --------------------------------------------------------------------- RPL006
@@ -225,12 +227,55 @@ class TestDenseScatterGrad:
         assert codes(src, path=self.GRAD_PATH) == []
 
 
+# --------------------------------------------------------------------- RPL009
+class TestAdHocPersistence:
+    def test_savez_outside_funnel_flagged(self):
+        src = "import numpy as np\nnp.savez(path, a=arr)\n"
+        assert codes(src, path=NEUTRAL_PATH) == ["RPL009"]
+
+    def test_load_outside_funnel_flagged(self):
+        src = "import numpy as np\narrs = np.load(path)\n"
+        assert codes(src, path=NEUTRAL_PATH) == ["RPL009"]
+
+    def test_savez_compressed_and_save_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "np.save(path, arr)\n"
+            "np.savez_compressed(path, a=arr)\n"
+        )
+        assert codes(src, path=NEUTRAL_PATH) == ["RPL009", "RPL009"]
+
+    def test_alias_resolved(self):
+        src = "import numpy\nnumpy.load(path)\n"
+        assert codes(src, path=NEUTRAL_PATH) == ["RPL009"]
+
+    def test_io_funnel_allowed(self):
+        src = "import numpy as np\nnp.savez(path, a=arr)\nnp.load(path)\n"
+        assert codes(src, path="src/repro/io/checkpoints.py") == []
+
+    def test_store_funnel_allowed(self):
+        src = "import numpy as np\nnp.save(path, arr)\nnp.load(path, mmap_mode='r')\n"
+        assert codes(src, path="src/repro/store/artifacts.py") == []
+
+    def test_exempt_path_skips_rule(self):
+        src = "import numpy as np\nnp.load(path)\n"
+        assert codes(src, path="tests/test_mod.py", config=DEFAULT_CONFIG) == []
+
+    def test_suppression_comment_honored(self):
+        src = "import numpy as np\nnp.load(path)  # reprolint: disable=RPL009\n"
+        assert codes(src, path=NEUTRAL_PATH) == []
+
+    def test_unrelated_numpy_calls_clean(self):
+        src = "import numpy as np\nx = np.zeros(3, dtype=np.float64)\nnp.savetxt\n"
+        assert codes(src, path=NEUTRAL_PATH) == []
+
+
 # ------------------------------------------------------------------- fixtures
 BAD_FIXTURES = {
     "bad_randomness.py": {"RPL001", "RPL002"},
     "bad_wallclock.py": {"RPL003"},
     "bad_dtype.py": {"RPL004"},
-    "bad_serialization.py": {"RPL005"},
+    "bad_serialization.py": {"RPL005", "RPL009"},
     "bad_defaults.py": {"RPL006"},
     "bad_tensor_data.py": {"RPL007"},
 }

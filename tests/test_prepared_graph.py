@@ -1,0 +1,161 @@
+"""PreparedGraph: injected structures are bit-identical to self-derived.
+
+The shared-graph-runtime contract: a model handed a ``PreparedGraph`` must
+train to exactly the parameters it would have reached deriving its own
+structures from the CKG — otherwise the artifact cache would silently change
+results.  Locked down here for CKAT, KGCN, RippleNet (full fit parameter
+comparison) and CKE (triple-order identity of the TransR sampling store),
+plus the cross-process determinism of ``relation_edge_groups`` that makes
+the serialized grouping safe to share between workers.
+"""
+
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.kg.adjacency import CSRAdjacency
+from repro.kg.prepared import PreparedGraph
+from repro.kg.subgraphs import INTERACT
+from repro.models import CKAT, CKATConfig
+from repro.models.base import FitConfig
+from repro.models.cke import CKE
+from repro.models.kgcn import KGCN
+from repro.models.ripplenet import RippleNet
+
+_FIT = FitConfig(epochs=2, batch_size=256, seed=0)
+
+
+def _params(model):
+    return [np.asarray(p.data) for p in model.parameters()]
+
+
+def _assert_params_identical(a, b):
+    pa, pb = _params(a), _params(b)
+    assert len(pa) == len(pb)
+    for x, y in zip(pa, pb):
+        np.testing.assert_array_equal(x, y)
+
+
+# ------------------------------------------------------------------ structures
+class TestDerivations:
+    def test_propagation_matches_self_derived(self, ooi_ckg_best):
+        graph = PreparedGraph.from_ckg(ooi_ckg_best)
+        own = CSRAdjacency(ooi_ckg_best.propagation_store)
+        np.testing.assert_array_equal(graph.propagation.heads, own.heads)
+        np.testing.assert_array_equal(graph.propagation.rels, own.rels)
+        np.testing.assert_array_equal(graph.propagation.tails, own.tails)
+
+    def test_canonical_kg_preserves_triple_order(self, ooi_ckg_best):
+        """CKE samples triples by index, so the canonical store must keep the
+        original (unsorted) triple order — a CSR re-sort would reshuffle the
+        TransR minibatches and break bit-identity."""
+        graph = PreparedGraph.from_ckg(ooi_ckg_best)
+        own = ooi_ckg_best.store.filter_relations(
+            [n for n in ooi_ckg_best.store.relations.names if n != INTERACT]
+        )
+        np.testing.assert_array_equal(graph.canonical_kg.heads, own.heads)
+        np.testing.assert_array_equal(graph.canonical_kg.rels, own.rels)
+        np.testing.assert_array_equal(graph.canonical_kg.tails, own.tails)
+
+    def test_round_trip_through_arrays(self, ooi_ckg_best):
+        graph = PreparedGraph.from_ckg(ooi_ckg_best)
+        arrays, meta = graph.to_arrays()
+        clone = PreparedGraph.from_arrays(arrays, meta)
+        np.testing.assert_array_equal(clone.propagation.heads, graph.propagation.heads)
+        np.testing.assert_array_equal(clone.knowledge.tails, graph.knowledge.tails)
+        np.testing.assert_array_equal(clone.canonical_kg.rels, graph.canonical_kg.rels)
+        order, bounds = graph.propagation.relation_edge_groups()
+        c_order, c_bounds = clone.propagation.relation_edge_groups()
+        np.testing.assert_array_equal(np.asarray(c_order), order)
+        np.testing.assert_array_equal(np.asarray(c_bounds), bounds)
+
+    def test_check_compatible_rejects_foreign_graph(self, ooi_ckg_best, ooi_ckg):
+        graph = PreparedGraph.from_ckg(ooi_ckg_best)
+        with pytest.raises(ValueError, match="different"):
+            graph.check_compatible(ooi_ckg)
+        assert graph.check_compatible(ooi_ckg_best) is graph
+
+
+# ------------------------------------------------------- trained bit-identity
+class TestInjectedTrainingIdentity:
+    def test_ckat(self, ooi_split, ooi_ckg_best):
+        n_u, n_i = ooi_split.train.num_users, ooi_split.train.num_items
+        cfg = CKATConfig(dim=8, relation_dim=8, layer_dims=(8, 4))
+        own = CKAT(n_u, n_i, ooi_ckg_best, cfg, seed=0)
+        injected = CKAT(
+            n_u, n_i, ooi_ckg_best, cfg, seed=0,
+            graph=PreparedGraph.from_ckg(ooi_ckg_best),
+        )
+        own.fit(ooi_split.train, _FIT)
+        injected.fit(ooi_split.train, _FIT)
+        _assert_params_identical(own, injected)
+
+    def test_kgcn(self, ooi_split, ooi_ckg_best):
+        n_u, n_i = ooi_split.train.num_users, ooi_split.train.num_items
+        own = KGCN(n_u, n_i, ooi_ckg_best, dim=8, neighbor_size=4, seed=0)
+        injected = KGCN(
+            n_u, n_i, ooi_ckg_best, dim=8, neighbor_size=4, seed=0,
+            graph=PreparedGraph.from_ckg(ooi_ckg_best),
+        )
+        own.fit(ooi_split.train, _FIT)
+        injected.fit(ooi_split.train, _FIT)
+        _assert_params_identical(own, injected)
+
+    def test_ripplenet(self, ooi_split, ooi_ckg_best):
+        n_u, n_i = ooi_split.train.num_users, ooi_split.train.num_items
+        own = RippleNet(n_u, n_i, ooi_ckg_best, ooi_split.train, dim=8, n_memory=8, seed=0)
+        injected = RippleNet(
+            n_u, n_i, ooi_ckg_best, ooi_split.train, dim=8, n_memory=8, seed=0,
+            graph=PreparedGraph.from_ckg(ooi_ckg_best),
+        )
+        own.fit(ooi_split.train, _FIT)
+        injected.fit(ooi_split.train, _FIT)
+        _assert_params_identical(own, injected)
+
+    def test_cke_sampling_store_identical(self, ooi_split, ooi_ckg_best):
+        n_u, n_i = ooi_split.train.num_users, ooi_split.train.num_items
+        own = CKE(n_u, n_i, ooi_ckg_best, dim=8, relation_dim=8, seed=0)
+        injected = CKE(
+            n_u, n_i, ooi_ckg_best, dim=8, relation_dim=8, seed=0,
+            graph=PreparedGraph.from_ckg(ooi_ckg_best),
+        )
+        np.testing.assert_array_equal(own.kg_store.heads, injected.kg_store.heads)
+        np.testing.assert_array_equal(own.kg_store.rels, injected.kg_store.rels)
+        np.testing.assert_array_equal(own.kg_store.tails, injected.kg_store.tails)
+
+
+# -------------------------------------------------- cross-process determinism
+_GROUPS_SCRIPT = """
+import hashlib
+from repro.kg.subgraphs import KnowledgeSources
+from repro.pipeline import DatasetPipeline
+
+adj = DatasetPipeline("ooi", scale="small", seed=7).graph(KnowledgeSources.best()).propagation
+order, bounds = adj.relation_edge_groups()
+print(hashlib.sha256(order.tobytes() + bounds.tobytes()).hexdigest())
+"""
+
+
+def _groups_digest_in_subprocess():
+    env = dict(os.environ)
+    src = pathlib.Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src)
+    env.pop("REPRO_CACHE_DIR", None)
+    out = subprocess.run(
+        [sys.executable, "-c", _GROUPS_SCRIPT],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_relation_edge_groups_deterministic_across_processes():
+    """The serialized (order, bounds) grouping must be reproducible by any
+    worker process — a stable argsort of the same edge arrays, with no
+    hash-seed or dict-order dependence."""
+    digests = {_groups_digest_in_subprocess() for _ in range(2)}
+    assert len(digests) == 1

@@ -214,6 +214,7 @@ class TestHarnessIntegration:
 
     def test_run_single_model_writes_log_and_checkpoint(self, small_ooi, tmp_path):
         from repro.experiments import run_single_model
+        from repro.experiments.runner import _run_slug
 
         run_single_model(
             "BPRMF",
@@ -224,14 +225,16 @@ class TestHarnessIntegration:
             checkpoint_dir=tmp_path / "ckpts",
             checkpoint_every=1,
         )
-        log_path = tmp_path / "logs" / "BPRMF_ooi.jsonl"
+        slug = _run_slug("BPRMF", "ooi")
+        log_path = tmp_path / "logs" / f"{slug}.jsonl"
         assert log_path.exists()
         events = read_run_log(log_path)
         kinds = [e["event"] for e in events]
         assert kinds[0] == "cell_start" and kinds[-1] == "cell_end"
         assert kinds.count("epoch") == 2
         assert kinds.count("checkpoint") == 2
-        assert (tmp_path / "ckpts" / "BPRMF_ooi.ckpt.npz").exists()
+        assert kinds.count("pipeline_stages") == 1
+        assert (tmp_path / "ckpts" / f"{slug}.ckpt.npz").exists()
 
     def test_run_single_model_resume_matches_uninterrupted(self, small_ooi, tmp_path):
         from repro.experiments import run_single_model
@@ -262,6 +265,7 @@ class TestHarnessIntegration:
 
     def test_slugified_label(self, small_ooi, tmp_path):
         from repro.experiments import run_single_model
+        from repro.experiments.runner import _run_slug
 
         run_single_model(
             "BPRMF",
@@ -271,4 +275,18 @@ class TestHarnessIntegration:
             label="w/ Att + concat",
             log_dir=tmp_path,
         )
-        assert (tmp_path / "w_Att_concat_ooi.jsonl").exists()
+        slug = _run_slug("w/ Att + concat", "ooi")
+        assert slug.startswith("w_Att_concat_ooi-")
+        assert (tmp_path / f"{slug}.jsonl").exists()
+
+    def test_slugs_distinguish_colliding_labels(self):
+        """Labels that sanitize identically must not share a file stem —
+        previously 'lr 0.01' and 'lr/0.01' both mapped to 'lr_0.01_ooi' and
+        overwrote each other's telemetry and checkpoints."""
+        from repro.experiments.runner import _run_slug
+
+        a, b = _run_slug("lr 0.01", "ooi"), _run_slug("lr/0.01", "ooi")
+        assert a != b
+        assert a.rsplit("-", 1)[0] == b.rsplit("-", 1)[0] == "lr_0.01_ooi"
+        # and the slug is deterministic across calls/processes
+        assert a == _run_slug("lr 0.01", "ooi")
