@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke store-smoke
+.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke
 
-verify: lint typecheck smoke sparse-smoke store-smoke
+verify: lint typecheck smoke sparse-smoke store-smoke kernels-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -42,6 +42,11 @@ sparse-smoke:
 # speedup gate needs full-scale builds; benchmarks cover it).
 store-smoke:
 	$(PYTHON) -m pytest -q benchmarks/test_bench_store.py -k "smoke"
+
+# Fused-kernel gradcheck/parity gate (the 2x epoch speedup gate needs the
+# full table-2 scale run; benchmarks/test_bench_kernels.py covers it).
+kernels-smoke:
+	$(PYTHON) -m pytest -q tests/test_kernels.py
 
 sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2

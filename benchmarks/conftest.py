@@ -11,8 +11,10 @@ addition to printing it, so the paper-vs-measured comparison survives the
 pytest run.
 """
 
+import json
 import os
 import pathlib
+import platform
 
 import pytest
 
@@ -35,6 +37,26 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def write_bench_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark numbers as ``BENCH_<name>.json``.
+
+    The rendered ``.txt`` tables are for humans; these JSON files carry the
+    raw timings/speedup ratios plus the run conditions (scale, seed,
+    platform) so regression tooling can diff runs without parsing tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "name": name,
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        **payload,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

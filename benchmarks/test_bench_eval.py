@@ -20,7 +20,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 from repro.data.interactions import InteractionDataset
 from repro.eval.evaluator import RankingEvaluator
@@ -93,6 +93,18 @@ def test_vectorized_speedup(eval_problem):
         f"  vectorized (float32) : {t_f32 * 1e3:8.1f} ms  ({t_legacy / t_f32:.1f}x)\n"
         f"  recall@20={fast.recall:.4f} ndcg@20={fast.ndcg:.4f} "
         f"(float32 recall drift {abs(fast32.recall - fast.recall):.2e})",
+    )
+    write_bench_json(
+        "eval",
+        {
+            "legacy_seconds": t_legacy,
+            "fast_seconds": t_fast,
+            "fast_float32_seconds": t_f32,
+            "speedup": speedup,
+            "gate": 3.0,
+            "users": N_USERS,
+            "items": N_ITEMS,
+        },
     )
     assert speedup >= 3.0, f"vectorized path only {speedup:.2f}x faster than legacy"
 

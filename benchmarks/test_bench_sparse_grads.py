@@ -20,7 +20,7 @@ import numpy as np
 from repro.autograd import SGD, Adam, SparseRowGrad, dense_grads
 from repro.models.embeddings import TransR
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 N_ENT = 50_000
 N_REL = 8
@@ -86,6 +86,18 @@ def test_transr_epoch_speedup():
         f"  dense gradients      : {t_dense * 1e3:8.1f} ms\n"
         f"  sparse-row gradients : {t_sparse * 1e3:8.1f} ms  ({speedup:.1f}x)\n"
         f"  first-step loss agreement: {abs(losses_sparse[0] - losses_dense[0]):.2e}",
+    )
+    write_bench_json(
+        "sparse_grads",
+        {
+            "dense_seconds": t_dense,
+            "sparse_seconds": t_sparse,
+            "speedup": speedup,
+            "gate": 3.0,
+            "entities": N_ENT,
+            "dim": DIM,
+            "rows_touched": int(touched),
+        },
     )
     assert np.isfinite(losses_sparse).all() and np.isfinite(losses_dense).all()
     # Step 1 starts from identical params and zero moments, so the losses of

@@ -17,7 +17,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import BENCH_SCALE, BENCH_SEED, write_result
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json, write_result
 
 from repro.kg.subgraphs import KnowledgeSources
 from repro.pipeline import PIPELINE_STAGES, DatasetPipeline
@@ -73,6 +73,16 @@ def test_warm_pipeline_speedup(tmp_path_factory):
         f"  cold build : {cold_seconds * 1000:8.1f} ms\n"
         f"  warm build : {warm_seconds * 1000:8.1f} ms\n"
         f"  speedup    : {speedup:8.1f}x  (gate: >= {MIN_SPEEDUP}x)",
+    )
+    write_bench_json(
+        "store",
+        {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "gate": MIN_SPEEDUP,
+            "datasets": list(DATASETS),
+        },
     )
     assert speedup >= MIN_SPEEDUP, (
         f"warm pipeline build only {speedup:.1f}x faster than cold "

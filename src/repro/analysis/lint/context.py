@@ -61,6 +61,12 @@ class LintConfig:
     :mod:`repro.io` checkpoints or :mod:`repro.store` artifacts, which own
     atomic writes, ``allow_pickle=False`` and verification."""
 
+    kernel_consumer_paths: Tuple[str, ...] = ("models/", "eval/")
+    """Paths consuming the fused kernels, where RPL010 requires every
+    ``repro.kernels`` import to name ``dispatch`` — backend selection, the
+    numba availability gate and the oracle fallback live there, and raw
+    backend imports silently bypass all three."""
+
 
 DEFAULT_CONFIG = LintConfig()
 
@@ -108,6 +114,10 @@ class LintContext:
     @property
     def in_persistence_path(self) -> bool:
         return _matches(self.path, self.config.persistence_paths)
+
+    @property
+    def in_kernel_consumer_path(self) -> bool:
+        return _matches(self.path, self.config.kernel_consumer_paths)
 
     # -------------------------------------------------------------- lexical
     @property

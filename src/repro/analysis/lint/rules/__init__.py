@@ -8,6 +8,7 @@ concern; see DESIGN.md for the rationale behind each code.
 from repro.analysis.lint.rules import (  # noqa: F401  (import for registration)
     defaults,
     dtypes,
+    kernel_imports,
     persistence,
     randomness,
     scatter,

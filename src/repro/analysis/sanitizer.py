@@ -6,8 +6,9 @@ appearing mid-computation, gradients whose shape has drifted from their
 parameter, and silent float64 upcasts leaking into the float32 evaluation
 fast path.  When enabled it instruments the engine at four choke points —
 
-- every public op in :mod:`repro.autograd.functional` (outputs are checked
-  for non-finite values and for all-float32 inputs producing float64);
+- every public op in :mod:`repro.autograd.functional` and every fused Tensor
+  op in :mod:`repro.kernels.dispatch` (outputs are checked for non-finite
+  values and for all-float32 inputs producing float64);
 - :class:`~repro.autograd.tensor.Tensor` construction (data checked unless
   the tensor is being built inside an instrumented op, which already names
   the op);
@@ -40,6 +41,7 @@ from repro.autograd import functional as F
 from repro.autograd import optim as _optim
 from repro.autograd.sparse import SparseRowGrad
 from repro.autograd.tensor import Tensor
+from repro.kernels import dispatch as _dispatch
 
 __all__ = [
     "ENV_VAR",
@@ -195,6 +197,7 @@ def _sanitized_step(original: Callable) -> Callable:
 # ------------------------------------------------------------ install state
 _installed = False
 _saved_ops: Dict[str, Callable] = {}
+_saved_dispatch_ops: Dict[str, Callable] = {}
 _saved_tensor_init: Optional[Callable] = None
 _saved_accumulate_grad: Optional[Callable] = None
 _saved_step: Optional[Callable] = None
@@ -214,6 +217,10 @@ def enable() -> None:
         fn = getattr(F, name)
         _saved_ops[name] = fn
         setattr(F, name, _wrap_op(name, fn))
+    for name in _dispatch.TENSOR_OPS:
+        fn = getattr(_dispatch, name)
+        _saved_dispatch_ops[name] = fn
+        setattr(_dispatch, name, _wrap_op(name, fn))
     _saved_tensor_init = Tensor.__init__
     Tensor.__init__ = _sanitized_tensor_init(_saved_tensor_init)
     _saved_accumulate_grad = Tensor.accumulate_grad
@@ -231,6 +238,9 @@ def disable() -> None:
     for name, fn in _saved_ops.items():
         setattr(F, name, fn)
     _saved_ops.clear()
+    for name, fn in _saved_dispatch_ops.items():
+        setattr(_dispatch, name, fn)
+    _saved_dispatch_ops.clear()
     Tensor.__init__ = _saved_tensor_init
     Tensor.accumulate_grad = _saved_accumulate_grad
     _optim.Optimizer.step = _saved_step

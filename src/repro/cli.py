@@ -14,7 +14,10 @@ Commands
 - ``lint [paths ...]``         — run reprolint, the project-aware static
   analyzer (exit 0 clean / 1 findings / 2 internal error);
 - ``sanitize-run <model> <dataset>`` — train under the runtime numeric
-  sanitizer (NaN/Inf, gradient shape, dtype-upcast detection).
+  sanitizer (NaN/Inf, gradient shape, dtype-upcast detection);
+- ``profile <dataset>``        — op-timer profile of CKAT training epochs,
+  per-op wall-clock share under the fused kernels vs the per-op oracle
+  chains (``--backend`` to pin one backend).
 
 Common options: ``--scale small|full``, ``--seed N``, ``--epochs N``, and
 ``--cache-dir DIR`` (artifact store shared by every dataset-loading command;
@@ -145,6 +148,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("model", choices=MODEL_NAMES)
     p_san.add_argument("dataset", choices=("ooi", "gage"))
     p_san.add_argument("--epochs", type=int, default=None)
+
+    p_prof = sub.add_parser(
+        "profile", help="op-timer profile of CKAT training (fused vs oracle)"
+    )
+    p_prof.add_argument("dataset", choices=("ooi", "gage"))
+    p_prof.add_argument("--epochs", type=int, default=1)
+    p_prof.add_argument(
+        "--attention-mode",
+        choices=("epoch", "batch"),
+        default="batch",
+        help="'batch' recomputes differentiable attention per step (the "
+        "fusion target, default); 'epoch' profiles the frozen-attention "
+        "fast path",
+    )
+    p_prof.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "numba", "oracle"),
+        default=None,
+        help="profile only this kernel backend instead of oracle + fused",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=12, help="rows of the per-op table to print"
+    )
     return parser
 
 
@@ -353,6 +379,46 @@ def _cmd_sanitize_run(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.analysis.profiler import profiled
+    from repro.experiments.runner import build_model, default_fit_config
+    from repro.kernels import dispatch
+    from repro.models.ckat import CKATConfig
+
+    ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed, cache_dir=args.cache_dir)
+    print(ds.describe())
+    ckg = ds.build_ckg()
+    graph = ds.prepared_graph()
+    ckat_cfg = CKATConfig(attention_mode=args.attention_mode)
+    if args.backend is not None:
+        backends = [args.backend if args.backend != "auto" else dispatch.get_backend()]
+    else:
+        # Oracle first, fused second: before/after in one run.
+        backends = ["oracle", dispatch.get_backend()]
+    walls = {}
+    for backend in backends:
+        with dispatch.kernel_backend(backend):
+            model = build_model(
+                "CKAT", ds, ckg, seed=args.seed, ckat_config=ckat_cfg, graph=graph
+            )
+            cfg = default_fit_config("CKAT", epochs=args.epochs, seed=args.seed)
+            with profiled() as report:
+                model.fit(ds.split.train, cfg)
+        walls[backend] = report.wall_seconds
+        print(
+            f"\n=== backend={backend} attention_mode={args.attention_mode} "
+            f"epochs={args.epochs} ==="
+        )
+        print(report.table(top=args.top))
+    if len(walls) == 2:
+        oracle_s, fused_s = walls[backends[0]], walls[backends[1]]
+        print(
+            f"\nfused ({backends[1]}) vs oracle: {oracle_s:.3f}s -> {fused_s:.3f}s "
+            f"({oracle_s / fused_s:.2f}x)"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -367,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "lint": _cmd_lint,
         "sanitize-run": _cmd_sanitize_run,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)
 

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.data.interactions import InteractionDataset
+from repro.kernels import dispatch
 
 __all__ = ["EvaluationResult", "PerUserMetrics", "RankingEvaluator"]
 
@@ -234,6 +235,37 @@ class RankingEvaluator:
         order = np.argsort(neg_scores[row_idx, top], axis=1, kind="stable")
         return top[row_idx, order]
 
+    def _accumulate_batch(
+        self,
+        top: np.ndarray,
+        batch: np.ndarray,
+        sl: slice,
+        recall: np.ndarray,
+        ndcg: np.ndarray,
+        precision: np.ndarray,
+        hit: np.ndarray,
+    ) -> None:
+        """Fill the per-user metric slices for one ranked batch.
+
+        Shared by the score-function and factor paths, so fused and per-op
+        rankings feed the identical metric pipeline.  Hit flags come from one
+        ``searchsorted`` of the batch's (user, item) keys against the sorted
+        global test keys.
+        """
+        k = self.k
+        n_items = self.train.num_items
+        keys = batch[:, None] * np.int64(n_items) + top
+        idx = np.searchsorted(self._test_keys, keys.ravel())
+        idx = np.minimum(idx, len(self._test_keys) - 1)
+        gains = (self._test_keys[idx] == keys.ravel()).astype(np.float64)
+        gains = gains.reshape(len(batch), k)
+        n_hit = gains.sum(axis=1)
+        rel = self._test_degree[batch]
+        recall[sl] = n_hit / rel
+        precision[sl] = n_hit / k
+        hit[sl] = n_hit > 0
+        ndcg[sl] = (gains @ self._discounts) / self._idcg[np.minimum(rel, k) - 1]
+
     # -------------------------------------------------------------- protocol
     def evaluate_per_user(
         self, score_fn, users: Optional[np.ndarray] = None
@@ -273,20 +305,8 @@ class RankingEvaluator:
             np.multiply(raw, -1.0, out=neg_scores, casting="unsafe")
             self._mask_train_positives(neg_scores, batch)
             top = self._top_k(neg_scores)
-            # Hit flags: one searchsorted of the batch's (user, item) keys
-            # against the sorted global test keys.
-            keys = batch[:, None] * np.int64(n_items) + top
-            idx = np.searchsorted(self._test_keys, keys.ravel())
-            idx = np.minimum(idx, len(self._test_keys) - 1)
-            gains = (self._test_keys[idx] == keys.ravel()).astype(np.float64)
-            gains = gains.reshape(len(batch), k)
-            n_hit = gains.sum(axis=1)
-            rel = self._test_degree[batch]
             sl = slice(start, start + len(batch))
-            recall[sl] = n_hit / rel
-            precision[sl] = n_hit / k
-            hit[sl] = n_hit > 0
-            ndcg[sl] = (gains @ self._discounts) / self._idcg[np.minimum(rel, k) - 1]
+            self._accumulate_batch(top, batch, sl, recall, ndcg, precision, hit)
         return PerUserMetrics(
             users=users, recall=recall, ndcg=ndcg, precision=precision, hit=hit, k=k
         )
@@ -294,6 +314,88 @@ class RankingEvaluator:
     def evaluate(self, score_fn, users: Optional[np.ndarray] = None) -> EvaluationResult:
         """Run the protocol and reduce to metric means (the paper's numbers)."""
         return self.evaluate_per_user(score_fn, users).reduce()
+
+    # --------------------------------------------------------- factor scoring
+    def evaluate_factors_per_user(
+        self,
+        user_vecs: np.ndarray,
+        item_vecs: np.ndarray,
+        users: Optional[np.ndarray] = None,
+    ) -> PerUserMetrics:
+        """Protocol over inner-product factors ``scores = user_vecs @ item_vecsᵀ``.
+
+        For models whose scores factor through embedding matrices (CKAT,
+        BPR-MF, …) this skips the score-function indirection: per batch the
+        fused :func:`repro.kernels.dispatch.masked_topk` writes the negated
+        product straight into the reusable score buffer, masks training
+        positives and selects the top K in one call — no raw ``(B, N)``
+        score matrix or separate copy-negate pass.  Under the ``oracle``
+        backend it degrades to :meth:`evaluate_per_user` with an equivalent
+        score function, which is the parity reference.
+        """
+        user_vecs = np.asarray(user_vecs)
+        item_vecs = np.asarray(item_vecs)
+        n_items = self.train.num_items
+        if user_vecs.ndim != 2 or user_vecs.shape[0] != self.train.num_users:
+            raise ValueError(
+                f"user_vecs must be (num_users, dim), got {user_vecs.shape}"
+            )
+        if item_vecs.ndim != 2 or item_vecs.shape != (n_items, user_vecs.shape[1]):
+            raise ValueError(
+                f"item_vecs must be ({n_items}, {user_vecs.shape[1]}), got {item_vecs.shape}"
+            )
+        if not dispatch.fused_enabled():
+            return self.evaluate_per_user(
+                lambda batch: user_vecs[batch] @ item_vecs.T, users
+            )
+        users = self._resolve_users(users)
+        if users.size == 0:
+            raise ValueError("no users to evaluate")
+        k = self.k
+        if k > n_items:
+            raise ValueError(f"k={k} exceeds the number of items {n_items}")
+        n_users = len(users)
+        recall = np.empty(n_users, dtype=np.float64)
+        ndcg = np.empty(n_users, dtype=np.float64)
+        precision = np.empty(n_users, dtype=np.float64)
+        hit = np.empty(n_users, dtype=np.float64)
+        for start in range(0, n_users, self.user_batch):
+            batch = users[start : start + self.user_batch]
+            top = dispatch.masked_topk(
+                user_vecs[batch],
+                item_vecs,
+                k,
+                self._score_buffer(len(batch)),
+                self._train_indptr,
+                self._train_indices,
+                batch,
+            )
+            sl = slice(start, start + len(batch))
+            self._accumulate_batch(top, batch, sl, recall, ndcg, precision, hit)
+        return PerUserMetrics(
+            users=users, recall=recall, ndcg=ndcg, precision=precision, hit=hit, k=k
+        )
+
+    def evaluate_factors(
+        self,
+        user_vecs: np.ndarray,
+        item_vecs: np.ndarray,
+        users: Optional[np.ndarray] = None,
+    ) -> EvaluationResult:
+        """Factor-path protocol reduced to metric means."""
+        return self.evaluate_factors_per_user(user_vecs, item_vecs, users).reduce()
+
+    def evaluate_model(self, model, users: Optional[np.ndarray] = None) -> EvaluationResult:
+        """Evaluate a :class:`~repro.models.base.Recommender` the fastest way.
+
+        Models exposing :meth:`~repro.models.base.Recommender.scoring_factors`
+        take the factor path (one representation pass for the whole
+        evaluation); everything else goes through ``score_users``.
+        """
+        factors = model.scoring_factors()
+        if factors is not None:
+            return self.evaluate_factors(*factors, users=users)
+        return self.evaluate(model.score_users, users)
 
     # ------------------------------------------------------- legacy reference
     def evaluate_legacy(

@@ -92,7 +92,7 @@ def grid_search(
         )
         start = time.perf_counter()
         model.fit(inner.train, cfg)
-        result = evaluator.evaluate(model.score_users)
+        result = evaluator.evaluate_model(model)
         points.append(
             GridPoint(
                 params=params,

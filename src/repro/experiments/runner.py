@@ -193,7 +193,7 @@ def run_single_model(
     if best_epoch_selection:
         fit_cfg.eval_every = 10
         fit_cfg.keep_best_metric = f"recall@{k}"
-        eval_callback = lambda: evaluator.evaluate(model.score_users).as_dict()  # noqa: E731
+        eval_callback = lambda: evaluator.evaluate_model(model).as_dict()  # noqa: E731
     slug = _run_slug(label or name, dataset.name)
     logger = None
     if log_dir is not None:
@@ -218,7 +218,7 @@ def run_single_model(
             logger=logger,
         )
         t0 = time.perf_counter()
-        result = evaluator.evaluate(model.score_users)
+        result = evaluator.evaluate_model(model)
         eval_seconds = time.perf_counter() - t0
         if logger is not None:
             pipeline = getattr(dataset, "pipeline", None)

@@ -1,0 +1,14 @@
+"""Fused cache-blocked kernels for the CKAT hot loops.
+
+Layout:
+
+- :mod:`repro.kernels.numpy_backend` — raw-ndarray cache-blocked kernels
+  (always available).
+- :mod:`repro.kernels.numba_backend` — optional jitted mirrors, auto-detected
+  and self-checked at import; never required.
+- :mod:`repro.kernels.dispatch` — backend selection plus the differentiable
+  Tensor-level wrappers.  **The only module models/eval code may import**
+  (reprolint RPL010).
+"""
+
+__all__ = ["dispatch", "numpy_backend", "numba_backend"]

@@ -1,0 +1,198 @@
+"""Optional numba-jitted fused kernels (auto-detected, never required).
+
+This module mirrors the raw-array kernel signatures of
+:mod:`repro.kernels.numpy_backend` for the gather/reduce-bound ops where a
+compiled per-edge loop beats blocked NumPy: attention scores and the two
+propagation reductions.  The BLAS-bound pieces (projection matmuls inside the
+attention backward, evaluation scoring) stay on the NumPy backend — a jitted
+triple loop cannot beat a tuned GEMM, so :mod:`repro.kernels.dispatch` only
+routes the edge-loop kernels here.
+
+Availability contract
+---------------------
+``AVAILABLE`` is True only when (a) numba imports and (b) every jitted kernel
+reproduces the NumPy reference on a small self-check fixture at import time.
+A numba installation that miscompiles (or a future signature drift) therefore
+degrades to the NumPy backend instead of silently corrupting training — the
+same "never required" posture as the scipy fallback.  Nothing in this module
+raises at import: all failures fold into ``AVAILABLE = False``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "AVAILABLE",
+    "edge_attention_scores",
+    "weighted_neighbor_sum",
+    "weighted_edge_grad",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    _HAVE_NUMBA = True
+except Exception:  # ImportError, or a broken install
+    numba = None
+    _HAVE_NUMBA = False
+
+AVAILABLE = False
+
+
+def _unavailable(name: str):
+    def stub(*args, **kwargs):
+        raise RuntimeError(
+            f"repro.kernels.numba_backend.{name} called but the numba backend "
+            "is unavailable (AVAILABLE is False); route through "
+            "repro.kernels.dispatch, which only selects backends that exist"
+        )
+
+    stub.__name__ = name
+    stub.__doc__ = f"Unavailable stub for the jitted ``{name}`` (numba not usable here)."
+    return stub
+
+
+edge_attention_scores = _unavailable("edge_attention_scores")
+weighted_neighbor_sum = _unavailable("weighted_neighbor_sum")
+weighted_edge_grad = _unavailable("weighted_edge_grad")
+
+if _HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True, fastmath=False)
+    def _edge_attention_scores(ent, rel, proj, heads_r, tails_r, bounds, scores, th, pt):
+        """Fill ``scores``/``th``/``pt`` (relation-grouped order) in one pass."""
+        k = rel.shape[1]
+        d = ent.shape[1]
+        for r in range(len(bounds) - 1):
+            lo, hi = bounds[r], bounds[r + 1]
+            for e in range(lo, hi):
+                h = heads_r[e]
+                t = tails_r[e]
+                s = 0.0
+                for j in range(k):
+                    u = rel[r, j]
+                    p = 0.0
+                    for c in range(d):
+                        w = proj[r, j, c]
+                        u += w * ent[h, c]
+                        p += w * ent[t, c]
+                    u = np.tanh(u)
+                    th[e, j] = u
+                    pt[e, j] = p
+                    s += p * u
+                scores[e] = s
+
+    @numba.njit(cache=True, fastmath=False)
+    def _weighted_neighbor_sum(emb, weights, tails, offsets, out):
+        """``out[h] = Σ weights[e] · emb[tails[e]]`` over each head segment."""
+        d = emb.shape[1]
+        for h in range(len(offsets) - 1):
+            for e in range(offsets[h], offsets[h + 1]):
+                w = weights[e]
+                t = tails[e]
+                for c in range(d):
+                    out[h, c] += w * emb[t, c]
+
+    @numba.njit(cache=True, fastmath=False)
+    def _weighted_edge_grad(grad_out, emb, heads, tails, gw):
+        """``gw[e] = grad_out[heads[e]] · emb[tails[e]]``."""
+        d = emb.shape[1]
+        for e in range(len(tails)):
+            h = heads[e]
+            t = tails[e]
+            s = 0.0
+            for c in range(d):
+                s += grad_out[h, c] * emb[t, c]
+            gw[e] = s
+
+    def edge_attention_scores(ent, rel, proj, heads_r, tails_r, bounds):
+        """Jitted mirror of :func:`repro.kernels.numpy_backend.edge_attention_forward`."""
+        num_edges = len(heads_r)
+        k = rel.shape[1]
+        scores = np.empty(num_edges, dtype=np.float64)
+        th = np.empty((num_edges, k), dtype=np.float64)
+        pt = np.empty((num_edges, k), dtype=np.float64)
+        _edge_attention_scores(
+            np.ascontiguousarray(ent),
+            np.ascontiguousarray(rel),
+            np.ascontiguousarray(proj),
+            heads_r,
+            tails_r,
+            bounds,
+            scores,
+            th,
+            pt,
+        )
+        return scores, th, pt
+
+    def weighted_neighbor_sum(emb, weights, tails, offsets, block=None, out=None):
+        """Jitted mirror of :func:`repro.kernels.numpy_backend.weighted_neighbor_sum`."""
+        if out is None:
+            out = np.zeros((len(offsets) - 1, emb.shape[1]), dtype=np.float64)
+        else:
+            out[:] = 0.0
+        if len(tails):
+            _weighted_neighbor_sum(
+                np.ascontiguousarray(emb),
+                np.ascontiguousarray(weights, dtype=np.float64)
+                if weights.dtype != np.float64
+                else weights,
+                tails,
+                offsets,
+                out,
+            )
+        return out
+
+    def weighted_edge_grad(grad_out, emb, heads, tails, block=None):
+        """Jitted mirror of :func:`repro.kernels.numpy_backend.weighted_edge_grad`."""
+        gw = np.empty(len(tails), dtype=np.float64)
+        if len(tails):
+            _weighted_edge_grad(
+                np.ascontiguousarray(grad_out), np.ascontiguousarray(emb), heads, tails, gw
+            )
+        return gw
+
+    def _self_check() -> bool:
+        """Compare every jitted kernel against the NumPy reference once."""
+        from repro.kernels import numpy_backend as ref
+
+        # Import-time check needs a deterministic fixture; there is no caller
+        # to thread a generator through.
+        rng = np.random.default_rng(0)  # reprolint: disable=RPL002
+        n_ent, n_rel, d, k, n_edges = 7, 3, 5, 4, 11
+        ent = rng.standard_normal((n_ent, d))
+        rel = rng.standard_normal((n_rel, k))
+        proj = rng.standard_normal((n_rel, k, d))
+        rels = np.sort(rng.integers(0, n_rel, n_edges)).astype(np.int64)
+        heads_r = rng.integers(0, n_ent, n_edges).astype(np.int64)
+        tails_r = rng.integers(0, n_ent, n_edges).astype(np.int64)
+        bounds = np.zeros(n_rel + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rels, minlength=n_rel), out=bounds[1:])
+        try:
+            s_j, th_j, pt_j = edge_attention_scores(ent, rel, proj, heads_r, tails_r, bounds)
+            s_n, th_n, pt_n = ref.edge_attention_forward(
+                ent, rel, proj, heads_r, tails_r, bounds
+            )
+            if not (
+                np.allclose(s_j, s_n, rtol=1e-12, atol=1e-12)
+                and np.allclose(th_j, th_n, rtol=1e-12, atol=1e-12)
+                and np.allclose(pt_j, pt_n, rtol=1e-12, atol=1e-12)
+            ):
+                return False
+            heads = np.sort(rng.integers(0, n_ent, n_edges)).astype(np.int64)
+            offsets = np.zeros(n_ent + 1, dtype=np.int64)
+            np.cumsum(np.bincount(heads, minlength=n_ent), out=offsets[1:])
+            w = rng.standard_normal(n_edges)
+            agg_j = weighted_neighbor_sum(ent, w, tails_r, offsets)
+            agg_n = ref.weighted_neighbor_sum(ent, w, tails_r, offsets)
+            if not np.allclose(agg_j, agg_n, rtol=1e-12, atol=1e-12):
+                return False
+            g = rng.standard_normal((n_ent, d))
+            gw_j = weighted_edge_grad(g, ent, heads, tails_r)
+            gw_n = ref.weighted_edge_grad(g, ent, heads, tails_r)
+            return bool(np.allclose(gw_j, gw_n, rtol=1e-12, atol=1e-12))
+        except Exception:
+            return False
+
+    AVAILABLE = _self_check()

@@ -15,14 +15,41 @@ sentinel.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.kg.triples import TripleStore
 from repro.utils.rng import ensure_rng
 
-__all__ = ["CSRAdjacency", "sample_fixed_neighbors"]
+__all__ = ["AttentionGradGroups", "CSRAdjacency", "sample_fixed_neighbors"]
+
+
+class AttentionGradGroups(NamedTuple):
+    """Cached segment-reduction structure for the fused attention backward.
+
+    All indices refer to **relation-grouped** edge order (the order the
+    fused kernels compute in).  ``head_offsets``/``head_rows`` delimit and
+    name the runs of equal heads (contiguous by construction: the relation
+    grouping is a stable sort of the CSR head-sorted edges);
+    ``tail_perm``/``tail_offsets``/``tail_rows`` are the mirrored structure
+    for tails, via a within-group stable sort.  ``head_bounds``/
+    ``tail_bounds`` (length ``num_relations + 1``) slice the runs per
+    relation.  ``perm``/``offsets``/``rows`` coalesce the concatenated
+    ``(head_rows, tail_rows)`` partials to the sorted unique touched
+    entities.
+    """
+
+    head_offsets: np.ndarray
+    head_rows: np.ndarray
+    head_bounds: np.ndarray
+    tail_perm: np.ndarray
+    tail_offsets: np.ndarray
+    tail_rows: np.ndarray
+    tail_bounds: np.ndarray
+    perm: np.ndarray
+    offsets: np.ndarray
+    rows: np.ndarray
 
 
 class CSRAdjacency:
@@ -60,6 +87,12 @@ class CSRAdjacency:
         # Per-edge head index replicated for segment ops that need it.
         self.edge_head = self.heads  # alias; already sorted by head
         self._relation_groups: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._relation_scatter: Optional[np.ndarray] = None
+        self._relation_endpoints: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._incoming_groups: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+        self._attention_grad_groups: Optional[AttentionGradGroups] = None
 
     @classmethod
     def from_arrays(
@@ -124,6 +157,170 @@ class CSRAdjacency:
             np.cumsum(counts, out=bounds[1:])
             self._relation_groups = (order, bounds)
         return self._relation_groups
+
+    def relation_scatter_index(self) -> np.ndarray:
+        """Inverse of the :meth:`relation_edge_groups` permutation.
+
+        ``inverse[order] == arange(num_edges)``: a vector computed in
+        relation-grouped order scatters back to head-sorted edge order with
+        one fancy index.  The graph is static across training, so this O(E)
+        array is derived once and cached (it used to be rebuilt on every
+        attention forward).
+        """
+        if self._relation_scatter is None:
+            order, _ = self.relation_edge_groups()
+            inverse = np.empty(self.num_edges, dtype=np.int64)
+            inverse[order] = np.arange(self.num_edges, dtype=np.int64)
+            self._relation_scatter = inverse
+        return self._relation_scatter
+
+    def relation_edge_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(heads, tails)`` gathered into relation-grouped order, cached.
+
+        The fused attention kernel indexes the embedding table with these on
+        every forward; materializing the two int64 gathers once trades O(E)
+        memory for an O(E) fancy-index per call.
+        """
+        if self._relation_endpoints is None:
+            order, _ = self.relation_edge_groups()
+            self._relation_endpoints = (self.heads[order], self.tails[order])
+        return self._relation_endpoints
+
+    def incoming_edge_groups(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Edge indices grouped by *tail* entity (the transpose layout).
+
+        Returns ``(order, offsets, heads, tails)``: ``order`` permutes edges
+        so equal tails are contiguous (stable, so relative edge order within
+        a tail is deterministic), ``offsets`` (length num_entities+1)
+        delimits each tail's block, and ``heads``/``tails`` are
+        ``self.heads[order]``/``self.tails[order]`` — the gather indices the
+        transposed reductions read from.  Propagation backward scatters edge
+        messages into tail rows; with this layout the scatter becomes a
+        contiguous segment reduction, mirroring how ``offsets`` serves the
+        forward direction, and the fused backward reads both endpoint
+        gathers in one pass.
+        """
+        if self._incoming_groups is None:
+            order = np.argsort(self.tails, kind="stable")
+            counts = np.bincount(self.tails, minlength=self.num_entities)
+            offsets = np.zeros(self.num_entities + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._incoming_groups = (
+                order,
+                offsets,
+                self.heads[order],
+                self.tails[order],
+            )
+        return self._incoming_groups
+
+    def warm_kernel_caches(self) -> "CSRAdjacency":
+        """Materialize every derived layout the fused kernels read.
+
+        All five caches are pure functions of the edge arrays; warming them
+        at graph-preparation time moves the one-off argsorts out of the
+        first training step and lets every consumer of a shared adjacency
+        hit the same arrays.  Returns ``self`` for chaining.
+        """
+        self.relation_edge_groups()
+        self.relation_scatter_index()
+        self.relation_edge_endpoints()
+        self.incoming_edge_groups()
+        self.attention_grad_groups()
+        return self
+
+    def attention_grad_groups(self) -> "AttentionGradGroups":
+        """Static reduction structure for the fused attention backward, cached.
+
+        The backward's entity/projection gradients factor through per-
+        ``(entity, relation)`` sums of the ``(E, k)`` score gradients — the
+        projection ``W_r`` is constant within a relation group, so summing
+        *before* the ``@ W_r`` matmul shrinks it from E edge rows to one row
+        per touched (entity, relation) pair (see DESIGN.md §10).  Everything
+        needed for those segment reductions is a pure function of the edge
+        arrays, derived once here:
+
+        - **head runs**: within each relation group the edges keep CSR
+          (head-sorted) order, so equal heads are already contiguous;
+          ``head_offsets`` delimits the runs in relation-grouped edge order,
+          ``head_rows`` names each run's entity and ``head_bounds`` slices
+          the runs per relation.
+        - **tail runs**: the mirrored structure for tails, via ``tail_perm``
+          (a within-group stable sort by tail, so the reduction order is
+          deterministic).
+        - **coalesce**: ``perm``/``offsets`` over ``concat(head_rows,
+          tail_rows)`` fold the per-(entity, relation) partials down to
+          ``rows`` — the sorted unique touched entities, the exact row set
+          the per-op oracle's sparse gradient touches.
+        """
+        if self._attention_grad_groups is None:
+            heads_r, tails_r = self.relation_edge_endpoints()
+            _, bounds = self.relation_edge_groups()
+            num_rel = self.num_relations
+            empty = np.zeros(0, dtype=np.int64)
+            if heads_r.size == 0:
+                zero = np.zeros(1, dtype=np.int64)
+                self._attention_grad_groups = AttentionGradGroups(
+                    head_offsets=zero,
+                    head_rows=empty,
+                    head_bounds=np.zeros(num_rel + 1, dtype=np.int64),
+                    tail_perm=empty,
+                    tail_offsets=zero,
+                    tail_rows=empty,
+                    tail_bounds=np.zeros(num_rel + 1, dtype=np.int64),
+                    perm=empty,
+                    offsets=zero,
+                    rows=empty,
+                )
+                return self._attention_grad_groups
+            h_starts, h_rows, h_counts = [], [], np.zeros(num_rel, dtype=np.int64)
+            t_starts, t_rows, t_counts = [], [], np.zeros(num_rel, dtype=np.int64)
+            tail_perm = np.empty(heads_r.size, dtype=np.int64)
+            for r in range(num_rel):
+                lo, hi = int(bounds[r]), int(bounds[r + 1])
+                if hi == lo:
+                    continue
+                h = heads_r[lo:hi]
+                s = np.flatnonzero(np.r_[True, h[1:] != h[:-1]])
+                h_starts.append(s + lo)
+                h_rows.append(h[s])
+                h_counts[r] = len(s)
+                t = tails_r[lo:hi]
+                p = np.argsort(t, kind="stable")
+                tail_perm[lo:hi] = p + lo
+                ts = t[p]
+                s2 = np.flatnonzero(np.r_[True, ts[1:] != ts[:-1]])
+                t_starts.append(s2 + lo)
+                t_rows.append(ts[s2])
+                t_counts[r] = len(s2)
+            head_rows = np.concatenate(h_rows).astype(np.int64)
+            tail_rows = np.concatenate(t_rows).astype(np.int64)
+            head_bounds = np.zeros(num_rel + 1, dtype=np.int64)
+            np.cumsum(h_counts, out=head_bounds[1:])
+            tail_bounds = np.zeros(num_rel + 1, dtype=np.int64)
+            np.cumsum(t_counts, out=tail_bounds[1:])
+            partial_rows = np.concatenate([head_rows, tail_rows])
+            perm = np.argsort(partial_rows, kind="stable")
+            sorted_rows = partial_rows[perm]
+            starts = np.flatnonzero(np.r_[True, sorted_rows[1:] != sorted_rows[:-1]])
+            self._attention_grad_groups = AttentionGradGroups(
+                head_offsets=np.r_[np.concatenate(h_starts), heads_r.size].astype(
+                    np.int64
+                ),
+                head_rows=head_rows,
+                head_bounds=head_bounds,
+                tail_perm=tail_perm,
+                tail_offsets=np.r_[np.concatenate(t_starts), tails_r.size].astype(
+                    np.int64
+                ),
+                tail_rows=tail_rows,
+                tail_bounds=tail_bounds,
+                perm=perm,
+                offsets=np.r_[starts, partial_rows.size].astype(np.int64),
+                rows=sorted_rows[starts],
+            )
+        return self._attention_grad_groups
 
 
 def sample_fixed_neighbors(

@@ -88,6 +88,7 @@ class PreparedGraph:
             self.num_propagation_relations,
             relation_groups=(arrays["prop_rel_order"], arrays["prop_rel_bounds"]),
         )
+        self._propagation.warm_kernel_caches()
         self._knowledge = CSRAdjacency.from_arrays(
             arrays["know_heads"],
             arrays["know_rels"],
@@ -135,7 +136,7 @@ class PreparedGraph:
     def propagation(self) -> CSRAdjacency:
         if self._propagation is None:
             self._propagation = CSRAdjacency(self._ckg.propagation_store)
-            self._propagation.relation_edge_groups()  # warm the shared cache
+            self._propagation.warm_kernel_caches()  # warm the shared caches
         return self._propagation
 
     @property

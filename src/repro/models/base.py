@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import pathlib
 import time
-from typing import Callable, List, Optional, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -140,6 +140,19 @@ class Recommender:
     def score_users(self, users: np.ndarray) -> np.ndarray:
         """Dense prediction scores, shape (len(users), num_items)."""
         raise NotImplementedError
+
+    def scoring_factors(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Optional factorization of ``score_users`` as an inner product.
+
+        Models whose scores are ``user_vecs[u] @ item_vecs.T`` return the two
+        dense factor matrices ``(user_vecs, item_vecs)`` — shapes
+        ``(num_users, d)`` and ``(num_items, d)`` — letting
+        :meth:`repro.eval.evaluator.RankingEvaluator.evaluate_model` compute
+        representations once per evaluation and rank through the fused
+        score+mask+top-k kernel.  Default ``None``: scores do not factor (or
+        nobody has bothered), so evaluation falls back to ``score_users``.
+        """
+        return None
 
     def extra_epoch_step(
         self, optimizer: Adam, rng: np.random.Generator, config: FitConfig

@@ -53,3 +53,6 @@ class BPRMF(Recommender):
     def score_users(self, users: np.ndarray) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
         return self.user_emb.data[users] @ self.item_emb.data.T
+
+    def scoring_factors(self):
+        return self.user_emb.data, self.item_emb.data

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.autograd import Parameter, Tensor, xavier_uniform
 from repro.autograd import functional as F
+from repro.kernels import dispatch
 from repro.kg.adjacency import CSRAdjacency
 
 __all__ = [
@@ -56,6 +57,27 @@ def compute_edge_attention(
         # F.concat rejects an empty piece list; a graph with no triples has
         # an empty (but well-formed) attention vector.
         return F.astensor(np.zeros(0, dtype=np.float64))
+    if dispatch.fused_enabled():
+        scores_sorted = dispatch.edge_attention_scores(entity_emb, relation_emb, proj, adj)
+    else:
+        scores_sorted = _edge_attention_scores_oracle(entity_emb, relation_emb, proj, adj)
+    return F.segment_softmax(scores_sorted, adj.offsets)
+
+
+def _edge_attention_scores_oracle(
+    entity_emb: Tensor,
+    relation_emb: Tensor,
+    proj: Tensor,
+    adj: CSRAdjacency,
+) -> Tensor:
+    """Per-op reference chain for the unnormalized scores (fusion oracle).
+
+    This is the original fine-grained implementation — one autograd node per
+    gather/matmul/tanh/mul/rowsum/concat/scatter step.  It stays as the
+    parity and gradcheck oracle for
+    :func:`repro.kernels.dispatch.edge_attention_scores` and runs when the
+    ``oracle`` backend is selected.
+    """
     order, bounds = adj.relation_edge_groups()
     pieces: List[Tensor] = []
     d = entity_emb.shape[1]
@@ -73,14 +95,10 @@ def compute_edge_attention(
         scores = F.sum(F.mul(proj_t, F.tanh(F.add(proj_h, r_vec))), axis=1)  # (m,)
         pieces.append(scores)
     flat = F.concat(pieces, axis=0)
-    # Scatter back from relation order to head-sorted edge order.
-    inverse = np.empty(adj.num_edges, dtype=np.int64)
-    nonempty_order = np.concatenate(
-        [order[bounds[r] : bounds[r + 1]] for r in range(adj.num_relations)]
-    ) if adj.num_edges else np.zeros(0, dtype=np.int64)
-    inverse[nonempty_order] = np.arange(adj.num_edges, dtype=np.int64)
-    scores_sorted = F.take_rows(flat, inverse)
-    return F.segment_softmax(scores_sorted, adj.offsets)
+    # Scatter back from relation order to head-sorted edge order (cached:
+    # concatenating the non-empty relation slices reproduces the full
+    # grouping permutation, so its inverse is the precomputed scatter index).
+    return F.take_rows(flat, adj.relation_scatter_index())
 
 
 def uniform_edge_weights(adj: CSRAdjacency) -> np.ndarray:
@@ -188,6 +206,10 @@ class PropagationLayer:
         """
         if sparse_matrix is not None and not isinstance(edge_weights, Tensor):
             neigh = F.spmm(sparse_matrix, embeddings)
+        elif dispatch.fused_enabled():
+            # Fused gather → scale → segment-sum: the (E, d_in) weighted-
+            # messages temporary is never materialized.
+            neigh = dispatch.weighted_neighbor_sum(embeddings, edge_weights, adj)
         else:
             tails = F.take_rows(embeddings, adj.tails)  # (E, d_in)
             if isinstance(edge_weights, Tensor):
@@ -205,13 +227,9 @@ def build_weighted_adjacency(adj: CSRAdjacency, edge_weights: np.ndarray):
     """CSR matrix A with A[h, t] = Σ attention(h, r, t) over parallel edges.
 
     Used by the frozen-attention fast path: propagation's neighbor sum is
-    then ``A @ embeddings``.
+    then ``A @ embeddings``.  Delegates to
+    :func:`repro.kernels.dispatch.build_weighted_csr`, which uses
+    ``scipy.sparse`` when importable and the pure-NumPy CSR fallback
+    otherwise — scipy is no longer a hard dependency of this path.
     """
-    import scipy.sparse as sp
-
-    A = sp.csr_matrix(
-        (np.asarray(edge_weights, dtype=np.float64), (adj.heads, adj.tails)),
-        shape=(adj.num_entities, adj.num_entities),
-    )
-    A.sum_duplicates()
-    return A
+    return dispatch.build_weighted_csr(adj, edge_weights)

@@ -249,6 +249,18 @@ class CKAT(Recommender):
         v = final[self._item_entities]
         return u @ v.T
 
+    def scoring_factors(self) -> Tuple[np.ndarray, np.ndarray]:
+        """User/item rows of e* (Eq. 10-11): one propagation for a whole eval.
+
+        ``score_users`` re-propagates per batch; the factor path runs the L
+        propagation layers once and hands the evaluator two dense slices of
+        the result.  Scores are identical — propagation is deterministic with
+        dropout off.
+        """
+        with no_grad():
+            final = self.propagate(training=False).data
+        return final[self._user_entities], final[self._item_entities]
+
     def entity_representations(self) -> np.ndarray:
         """Final concatenated representations of all entities (no grad)."""
         with no_grad():

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.autograd import Parameter, Tensor, xavier_uniform
 from repro.autograd import functional as F
+from repro.kernels import dispatch
 from repro.kg.triples import TripleStore
 from repro.utils.rng import ensure_rng
 
@@ -135,6 +136,16 @@ class TransR:
 
         Lower is more plausible.  Returns shape (B,).
         """
+        if dispatch.fused_enabled():
+            return dispatch.transr_energy(
+                self.entity_emb, self.relation_emb, self.proj, heads, rels, tails
+            )
+        return self._energy_oracle(heads, rels, tails)
+
+    def _energy_oracle(
+        self, heads: np.ndarray, rels: np.ndarray, tails: np.ndarray
+    ) -> Tensor:
+        """Per-op chain for :meth:`energy` — the fused kernel's parity oracle."""
         ph = self.project(rels, heads)
         pt = self.project(rels, tails)
         r = F.take_rows(self.relation_emb, rels)
