@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke
+.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke
 
-verify: lint typecheck smoke sparse-smoke store-smoke kernels-smoke
+verify: lint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -47,6 +47,12 @@ store-smoke:
 # full table-2 scale run; benchmarks/test_bench_kernels.py covers it).
 kernels-smoke:
 	$(PYTHON) -m pytest -q tests/test_kernels.py
+
+# Serving correctness gate: index freeze/load, batched == single bit-identity,
+# fold-in, HTTP round trips (the 500 rps / p99 throughput gate needs full
+# scale; benchmarks/test_bench_serving.py covers it).
+serving-smoke:
+	$(PYTHON) -m pytest -q tests/test_serving.py tests/test_serving_server.py
 
 sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2

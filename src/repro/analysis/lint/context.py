@@ -61,11 +61,13 @@ class LintConfig:
     :mod:`repro.io` checkpoints or :mod:`repro.store` artifacts, which own
     atomic writes, ``allow_pickle=False`` and verification."""
 
-    kernel_consumer_paths: Tuple[str, ...] = ("models/", "eval/")
+    kernel_consumer_paths: Tuple[str, ...] = ("models/", "eval/", "serving/")
     """Paths consuming the fused kernels, where RPL010 requires every
     ``repro.kernels`` import to name ``dispatch`` — backend selection, the
     numba availability gate and the oracle fallback live there, and raw
-    backend imports silently bypass all three."""
+    backend imports silently bypass all three.  ``serving/`` scores every
+    request through the same funnel, so its ranking stays bit-identical to
+    offline evaluation across backends."""
 
 
 DEFAULT_CONFIG = LintConfig()

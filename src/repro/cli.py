@@ -8,6 +8,9 @@ Commands
 - ``train <model> <dataset>`` — train one model, report metrics, optionally
   save a checkpoint (``--save model.npz``);
 - ``recommend <dataset> <user>`` — train CKAT and print top-K items;
+- ``serve [dataset]``           — freeze a model into a score index and
+  serve recommendations over HTTP with request micro-batching and fold-in
+  (``--from-index DIGEST`` restarts from the artifact store alone);
 - ``report <run.jsonl> ...``   — summarize JSONL run telemetry logs;
 - ``cache <ls|gc|path>``       — inspect / clear the content-addressed
   artifact store (see ``--cache-dir``);
@@ -111,6 +114,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("user", type=int)
     p_rec.add_argument("--k", type=int, default=10)
     p_rec.add_argument("--epochs", type=int, default=15)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve recommendations from a frozen score index over HTTP"
+    )
+    p_serve.add_argument(
+        "dataset",
+        choices=("ooi", "gage"),
+        nargs="?",
+        default=None,
+        help="dataset to train/freeze from (omit with --from-index)",
+    )
+    p_serve.add_argument("--model", choices=MODEL_NAMES, default="BPRMF")
+    p_serve.add_argument("--epochs", type=int, default=None)
+    p_serve.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="load model parameters from this .npz instead of training",
+    )
+    p_serve.add_argument(
+        "--from-index",
+        type=str,
+        default=None,
+        metavar="DIGEST",
+        help="reload a frozen score index from the artifact store by digest "
+        "prefix (no dataset or training needed; requires --cache-dir or "
+        "$REPRO_CACHE_DIR)",
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8377)
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="micro-batch cap: concurrent /recommend requests coalesce into "
+        "one fused top-k call up to this many",
+    )
+    p_serve.add_argument(
+        "--log",
+        type=str,
+        default=None,
+        help="append JSONL request/batch telemetry to this file "
+        "(summarize with `repro report`)",
+    )
 
     p_report = sub.add_parser("report", help="summarize a JSONL run telemetry log")
     p_report.add_argument("log", type=str, nargs="+", help="path(s) to .jsonl run logs")
@@ -333,6 +380,84 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serving import RecommendServer, RecommendService, ScoreIndex
+    from repro.utils.telemetry import RunLogger
+
+    root = resolve_cache_dir(args.cache_dir)
+    if args.from_index is not None:
+        if root is None:
+            print(
+                "error: --from-index needs an artifact store "
+                "(use --cache-dir or $REPRO_CACHE_DIR)",
+                file=sys.stderr,
+            )
+            return 2
+        index = ScoreIndex.by_digest(ArtifactStore(root), args.from_index)
+        if index is None:
+            print(f"error: no score_index matching digest {args.from_index!r} in {root}",
+                  file=sys.stderr)
+            return 2
+        print(f"loaded frozen index from store: {index.meta}")
+    else:
+        if args.dataset is None:
+            print("error: pass a dataset to freeze from, or --from-index DIGEST",
+                  file=sys.stderr)
+            return 2
+        from repro.experiments.runner import build_model, default_fit_config
+
+        ds = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                          cache_dir=args.cache_dir)
+        ckg = ds.build_ckg()
+        model = build_model(args.model, ds, ckg, seed=args.seed)
+        if args.checkpoint is not None:
+            from repro.io import load_parameters
+
+            load_parameters(args.checkpoint, model)
+            # Rebuild derived state (CKAT's frozen attention) from the
+            # loaded parameters before exporting scoring factors.
+            model.on_epoch_end()
+            print(f"loaded {args.model} parameters from {args.checkpoint}")
+        else:
+            cfg = default_fit_config(args.model, epochs=args.epochs, seed=args.seed)
+            print(f"training {args.model} on {args.dataset} ({cfg.epochs} epochs)...")
+            model.fit(ds.split.train, cfg)
+        index = ScoreIndex.from_model(
+            model,
+            ds.split.train,
+            meta={"dataset": args.dataset, "scale": args.scale, "seed": args.seed},
+        )
+        if root is not None:
+            config = {
+                "model": args.model,
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "seed": args.seed,
+                "epochs": args.epochs,
+                "checkpoint": args.checkpoint,
+            }
+            artifact = index.save(ArtifactStore(root), config)
+            print(
+                f"frozen index stored: digest {artifact.digest[:16]} "
+                f"(restart with `repro serve --from-index {artifact.digest[:16]}`)"
+            )
+    logger = RunLogger(args.log, run_id="serve") if args.log else None
+    service = RecommendService(index)
+    server = RecommendServer(
+        service, host=args.host, port=args.port, max_batch=args.max_batch, logger=logger
+    )
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        if logger is not None:
+            logger.close()
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import (
         EXIT_INTERNAL_ERROR,
@@ -429,6 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "train": _cmd_train,
         "recommend": _cmd_recommend,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "cache": _cmd_cache,
         "lint": _cmd_lint,

@@ -401,15 +401,25 @@ def masked_topk(
     train_indptr: np.ndarray,
     train_indices: np.ndarray,
     batch: np.ndarray,
+    valid_out: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Fused score → negate → train-mask → top-k for one evaluation batch.
 
     Always NumPy: the product is one BLAS call into the caller's reusable
     buffer, which no jitted loop improves on.  Ranking (including tie
-    behavior) is identical to the evaluator's per-op chain.
+    behavior) is identical to the evaluator's per-op chain.  ``valid_out``
+    receives per-row real-candidate counts (see the backend docstring) so
+    serving callers can truncate masked filler from short rows.
     """
     return numpy_backend.masked_topk(
-        user_vecs, item_vecs, k, neg_buf, train_indptr, train_indices, batch
+        user_vecs,
+        item_vecs,
+        k,
+        neg_buf,
+        train_indptr,
+        train_indices,
+        batch,
+        valid_out=valid_out,
     )
 
 

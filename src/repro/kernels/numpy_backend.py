@@ -493,6 +493,7 @@ def masked_topk(
     train_indptr: np.ndarray,
     train_indices: np.ndarray,
     batch: np.ndarray,
+    valid_out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Fused score → negate → train-mask → top-k over one user batch.
 
@@ -502,8 +503,20 @@ def masked_topk(
     positives to ``+inf`` with one flat fancy-index, and returns the row-wise
     top-``k`` item ids, best first, stable under ties — the exact ranking the
     per-op evaluator chain produces.
+
+    When ``k`` exceeds a row's unmasked-candidate count the selection
+    necessarily includes masked (``+inf``) columns; the stable sort pushes
+    them past every real candidate, so each row is always a valid prefix of
+    real recommendations followed by masked filler.  ``valid_out`` (int64,
+    length ≥ rows) receives each row's real-candidate count so callers that
+    must never surface a masked id — the serving layer — can clamp per row,
+    mirroring the single-user clamp in ``Recommender.recommend``.  A row
+    whose every candidate is masked reports 0.
     """
     rows = user_vecs.shape[0]
+    n_items = item_vecs.shape[0]
+    if not 0 < k <= n_items:
+        raise ValueError(f"k must be in [1, {n_items}] (num_items), got {k}")
     buf = neg_buf[:rows]
     if buf.dtype == user_vecs.dtype == item_vecs.dtype:
         # Negation of the (B, dim) factor is exact in IEEE arithmetic, so the
@@ -527,7 +540,14 @@ def masked_topk(
     top = np.argpartition(buf, k - 1, axis=1)[:, :k]
     row_idx = np.arange(rows, dtype=np.int64)[:, None]
     order = np.argsort(buf[row_idx, top], axis=1, kind="stable")
-    return top[row_idx, order]
+    result = top[row_idx, order]
+    if valid_out is not None:
+        if valid_out.shape[0] < rows:
+            raise ValueError(
+                f"valid_out has {valid_out.shape[0]} rows, batch has {rows}"
+            )
+        np.sum(buf[row_idx, result] < np.inf, axis=1, out=valid_out[:rows])
+    return result
 
 
 # ----------------------------------------------- scipy-free sparse fallback

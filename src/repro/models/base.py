@@ -431,7 +431,18 @@ class Recommender:
             raise ValueError(f"k must be positive, got {k}")
         scores = self.score_users(np.array([user]))[0].astype(np.float64, copy=True)
         if exclude is not None and len(exclude):
-            scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+            exclude = np.asarray(exclude, dtype=np.int64)
+            # Validate before masking: a negative id wraps around and masks
+            # the wrong item; an id >= num_items raises a bare IndexError
+            # deep in numpy.  Both reach here straight from serving-layer
+            # request payloads, so fail loudly with the offending ids.
+            bad = exclude[(exclude < 0) | (exclude >= self.num_items)]
+            if bad.size:
+                raise ValueError(
+                    f"exclude contains item ids outside [0, {self.num_items}): "
+                    f"{np.unique(bad).tolist()[:10]}"
+                )
+            scores[exclude] = -np.inf
         # Clamp to the number of rankable candidates: with a large exclude
         # set, argpartition on the raw k would let -inf-masked ids survive
         # into the output.

@@ -1,0 +1,67 @@
+"""Small LRU cache with hit/miss/eviction counters.
+
+Backs the serving layer's user-vector cache: index factor matrices are
+memory-mapped from the artifact store, so a cache hit skips both the page
+fault and the row copy.  Counters are exposed through ``/stats`` so cache
+behavior is observable the same way the artifact store's is.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry on overflow.
+
+    ``get`` refreshes recency; ``put`` of an existing key refreshes and
+    replaces.  Not thread-safe — the serving layer touches it only from the
+    event-loop thread.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Return the cached value (refreshing recency), or ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/replace ``key``, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

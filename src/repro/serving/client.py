@@ -1,0 +1,100 @@
+"""Minimal asyncio HTTP/1.1 keep-alive client for the recommend server.
+
+Exists for tests and the throughput benchmark: stdlib-only, one persistent
+connection per instance, strictly sequential request/response per
+connection (open several clients for concurrency).  Not a general HTTP
+client — it speaks exactly the dialect :mod:`repro.serving.server` emits
+(``Content-Length`` JSON bodies, no chunked encoding).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+from urllib.parse import quote
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One keep-alive connection to a :class:`RecommendServer`."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "ServingClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServingClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.close()
+        return False
+
+    # ------------------------------------------------------------------ verbs
+    async def request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        """Issue one request; returns ``(status, parsed JSON body)``."""
+        if self._writer is None:
+            await self.connect()
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode("ascii")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        content_length = 0
+        while True:
+            header = await self._reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        raw = await self._reader.readexactly(content_length) if content_length else b""
+        return status, json.loads(raw.decode("utf-8") or "{}")
+
+    async def get(self, path: str) -> Tuple[int, dict]:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: dict) -> Tuple[int, dict]:
+        return await self.request("POST", path, payload)
+
+    # ------------------------------------------------------------- convenience
+    async def recommend(
+        self,
+        user: Optional[int] = None,
+        handle: Optional[str] = None,
+        k: int = 10,
+    ) -> Tuple[int, dict]:
+        if (user is None) == (handle is None):
+            raise ValueError("pass exactly one of user or handle")
+        who = f"user={user}" if user is not None else f"handle={quote(str(handle))}"
+        return await self.get(f"/recommend?{who}&k={k}")
+
+    async def fold_in(self, items) -> Tuple[int, dict]:
+        return await self.post("/foldin", {"items": [int(i) for i in items]})

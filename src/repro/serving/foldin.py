@@ -1,0 +1,123 @@
+"""Fold-in: embed a brand-new user against the frozen item table.
+
+A facility user with no training history sends their first few interactions;
+retraining the model for them is off the table at serving time.  Instead the
+engine places them in the *existing* embedding space:
+
+1. **Warm start** — the mean of the observed items' frozen vectors, i.e. the
+   centroid of what they touched.  Already a usable query point.
+2. **Refinement** — a few BPR gradient steps on a one-row parameter table,
+   gathered through ``take_rows`` so the update flows down the sparse-row
+   optimizer path (the same machinery training uses), against *frozen* item
+   vectors held as constants.
+
+The item table stays frozen on purpose: serving-time updates to shared item
+vectors would silently shift every other user's rankings and break the
+bit-identity contract between the frozen index and offline evaluation.  The
+new user's vector is private state; nothing global moves.
+
+Determinism: the negative-sampling RNG is seeded from the engine seed plus a
+hash of the (sorted, deduplicated) observed item ids, so folding in the same
+interaction set always yields the same vector — restarts included.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from repro.autograd import Adam, Parameter, Tensor
+from repro.autograd import functional as F
+from repro.serving.index import ScoreIndex
+
+__all__ = ["FoldInConfig", "FoldInEngine"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FoldInConfig:
+    """Refinement hyperparameters; defaults tuned for a handful of items."""
+
+    steps: int = 15
+    lr: float = 0.05
+    l2: float = 1e-4
+    negatives_per_pos: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.steps < 0:
+            raise ValueError(f"steps must be >= 0, got {self.steps}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.l2 < 0:
+            raise ValueError(f"l2 must be nonnegative, got {self.l2}")
+        if self.negatives_per_pos <= 0:
+            raise ValueError(
+                f"negatives_per_pos must be positive, got {self.negatives_per_pos}"
+            )
+
+
+class FoldInEngine:
+    """Embeds new users into a :class:`ScoreIndex`'s factor space."""
+
+    def __init__(self, index: ScoreIndex, config: FoldInConfig = FoldInConfig()):
+        self.index = index
+        self.config = config
+
+    def _rng(self, items: np.ndarray) -> np.random.Generator:
+        key = f"{self.config.seed}:" + ",".join(str(i) for i in items.tolist())
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def _sample_negatives(
+        self, rng: np.random.Generator, observed: set, count: int
+    ) -> np.ndarray:
+        """Rejection-sample item ids outside ``observed``."""
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            draw = rng.integers(0, self.index.num_items, size=count - filled)
+            keep = draw[[int(d) not in observed for d in draw]]
+            out[filled : filled + keep.size] = keep
+            filled += keep.size
+        return out
+
+    def embed(self, item_ids) -> np.ndarray:
+        """Return a ``(dim,)`` user vector for the observed ``item_ids``."""
+        items = np.unique(np.asarray(item_ids, dtype=np.int64))
+        if items.size == 0:
+            raise ValueError("fold-in requires at least one observed item")
+        if items[0] < 0 or items[-1] >= self.index.num_items:
+            raise ValueError(
+                f"fold-in item ids outside [0, {self.index.num_items}): "
+                f"{items[(items < 0) | (items >= self.index.num_items)].tolist()[:10]}"
+            )
+        item_table = np.asarray(self.index.item_vecs)
+        warm = item_table[items].mean(axis=0)
+        if self.config.steps == 0:
+            return np.ascontiguousarray(warm, dtype=np.float64)
+        if items.size >= self.index.num_items:
+            # Every item observed: no negatives exist, BPR is undefined.
+            return np.ascontiguousarray(warm, dtype=np.float64)
+        rng = self._rng(items)
+        observed = set(items.tolist())
+        user_table = Parameter(warm[None, :].copy(), name="foldin.user")
+        optimizer = Adam([user_table], lr=self.config.lr)
+        reps = self.config.negatives_per_pos
+        pos = np.repeat(items, reps)
+        row_ids = np.zeros(pos.size, dtype=np.int64)
+        for _ in range(self.config.steps):
+            neg = self._sample_negatives(rng, observed, pos.size)
+            # take_rows on the leaf table emits a SparseRowGrad, exercising
+            # the sparse-row optimizer dispatch exactly like training does.
+            u = F.take_rows(user_table, row_ids)
+            pos_scores = F.sum(F.mul(u, Tensor(item_table[pos])), axis=1)
+            neg_scores = F.sum(F.mul(u, Tensor(item_table[neg])), axis=1)
+            loss = F.bpr_loss(pos_scores, neg_scores)
+            if self.config.l2:
+                loss = F.add(loss, F.mul(Tensor(self.config.l2), F.squared_norm(u)))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return np.ascontiguousarray(user_table.data[0], dtype=np.float64)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 import time
 from typing import Dict, List, Optional, TextIO, Union
 
@@ -50,30 +51,41 @@ class RunLogger:
     Each event gets ``event`` (the type) and ``ts`` (Unix wall-clock) fields;
     lines are flushed as written so a killed run loses at most the line being
     written.  Usable as a context manager; ``log`` after ``close`` raises.
+
+    Appends are serialized with a lock: the serving layer logs from
+    concurrent request handlers (and occasionally executor threads), and an
+    interleaved ``write`` + ``flush`` pair can tear two JSONL lines into
+    garbage *mid-file* — beyond the torn-*tail* tolerance of
+    :func:`read_run_log`.  Single-writer training loops pay one uncontended
+    lock acquisition per event.
     """
 
     def __init__(self, path: PathLike, run_id: Optional[str] = None):
         self.path = pathlib.Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.run_id = run_id
+        self._lock = threading.Lock()
         self._fh: Optional[TextIO] = self.path.open("a", encoding="utf-8")
 
     def log(self, event: str, **fields) -> dict:
         """Append one event; returns the record written."""
-        if self._fh is None:
-            raise ValueError(f"RunLogger({self.path}) is closed")
         record = {"event": str(event), "ts": time.time()}
         if self.run_id is not None:
             record["run_id"] = self.run_id
         record.update(fields)
-        self._fh.write(json.dumps(record) + "\n")
-        self._fh.flush()
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"RunLogger({self.path}) is closed")
+            self._fh.write(line)
+            self._fh.flush()
         return record
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "RunLogger":
         return self

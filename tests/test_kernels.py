@@ -382,6 +382,69 @@ class TestEvaluatorParity:
         assert top.shape == (0, 5)
 
 
+class TestMaskedTopkValidCounts:
+    """Per-row clamping when ``k`` exceeds the unmasked candidates."""
+
+    def _rank(self, u, v, k, indptr, indices, batch, valid=None):
+        neg = np.empty((u.shape[0], v.shape[0]), dtype=np.float64)
+        return dispatch.masked_topk(u, v, k, neg, indptr, indices, batch, valid_out=valid)
+
+    def test_valid_counts_and_finite_prefix(self):
+        rng = np.random.default_rng(41)
+        u = rng.standard_normal((3, 4))
+        v = rng.standard_normal((6, 4))
+        # Row 0 masks 4 of 6 items, row 1 masks none, row 2 masks 2.
+        indptr = np.array([0, 4, 4, 6], dtype=np.int64)
+        indices = np.array([0, 1, 2, 3, 4, 5], dtype=np.int64)
+        valid = np.empty(3, dtype=np.int64)
+        k = 5
+        top = self._rank(u, v, k, indptr, indices, np.arange(3), valid)
+        assert valid.tolist() == [2, 5, 4]
+        scores = u @ v.T
+        for row in range(3):
+            masked = set(indices[indptr[row] : indptr[row + 1]].tolist())
+            real = top[row, : valid[row]]
+            # No masked id inside the valid prefix, and the prefix is the
+            # true descending top of the unmasked candidates.
+            assert not masked & set(real.tolist())
+            order = np.argsort(-scores[row])
+            expect = [i for i in order if i not in masked][: valid[row]]
+            assert real.tolist() == expect
+
+    def test_zero_candidate_row(self):
+        """A row with every item masked reports valid == 0."""
+        rng = np.random.default_rng(43)
+        u = rng.standard_normal((2, 4))
+        v = rng.standard_normal((5, 4))
+        indptr = np.array([0, 5, 5], dtype=np.int64)
+        indices = np.arange(5, dtype=np.int64)
+        valid = np.empty(2, dtype=np.int64)
+        top = self._rank(u, v, 3, indptr, indices, np.arange(2), valid)
+        assert valid.tolist() == [0, 3]
+        assert top.shape == (2, 3)
+
+    def test_k_out_of_range_raises(self):
+        rng = np.random.default_rng(47)
+        u = rng.standard_normal((2, 4))
+        v = rng.standard_normal((5, 4))
+        indptr = np.zeros(3, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.int64)
+        for bad_k in (0, -1, 6):
+            with pytest.raises(ValueError, match="k must be in"):
+                self._rank(u, v, bad_k, indptr, empty, np.arange(2))
+
+    def test_short_valid_out_raises(self):
+        rng = np.random.default_rng(53)
+        u = rng.standard_normal((3, 4))
+        v = rng.standard_normal((5, 4))
+        indptr = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ValueError, match="valid_out"):
+            self._rank(
+                u, v, 2, indptr, np.zeros(0, dtype=np.int64), np.arange(3),
+                np.empty(2, dtype=np.int64),
+            )
+
+
 # ------------------------------------------------------- scipy-free fallback
 class TestWeightedCSRFallback:
     def test_pure_csr_matches_dense(self, small_adj):

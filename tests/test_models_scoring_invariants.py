@@ -70,3 +70,24 @@ class TestScoringInvariants:
         model = trained_registry[name]
         recs = model.recommend(0, k=7)
         assert (recs >= 0).all() and (recs < ds.split.train.num_items).all()
+
+    def test_recommend_rejects_negative_exclude(self, trained_registry, name):
+        """Regression: a negative exclude id used to wrap around and silently
+        mask the wrong item."""
+        model = trained_registry[name]
+        with pytest.raises(ValueError, match="exclude contains item ids"):
+            model.recommend(0, k=5, exclude=np.array([0, -1]))
+
+    def test_recommend_rejects_out_of_range_exclude(self, trained_registry, name):
+        """Regression: an exclude id >= num_items used to raise a bare
+        IndexError from deep inside numpy."""
+        model = trained_registry[name]
+        with pytest.raises(ValueError, match="exclude contains item ids"):
+            model.recommend(0, k=5, exclude=np.array([model.num_items]))
+
+    def test_recommend_all_items_excluded(self, trained_registry, name):
+        """With every item excluded the clamp yields an empty result, never a
+        -inf-masked id."""
+        model = trained_registry[name]
+        recs = model.recommend(0, k=5, exclude=np.arange(model.num_items))
+        assert recs.size == 0

@@ -1,0 +1,341 @@
+"""Serving core: score-index freeze/load, batched bit-identity, LRU, fold-in.
+
+The serving layer's headline contract is *bit-identity*: a frozen index
+round-trips through the artifact store byte-equal, and a request's response
+(ids and scores) is byte-equal no matter which micro-batch it rode in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionDataset
+from repro.models import BPRMF
+from repro.models.base import FitConfig
+from repro.serving import (
+    FoldInConfig,
+    FoldInEngine,
+    LRUCache,
+    RecommendService,
+    ScoreIndex,
+)
+from repro.store import ArtifactStore
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    num_users, num_items = 40, 30
+    train = InteractionDataset(
+        rng.integers(0, num_users, 600), rng.integers(0, num_items, 600),
+        num_users, num_items,
+    )
+    model = BPRMF(num_users, num_items, dim=16, seed=3)
+    model.fit(train, FitConfig(epochs=2, batch_size=128, seed=3))
+    return model, train
+
+
+@pytest.fixture()
+def index(trained):
+    model, train = trained
+    return ScoreIndex.from_model(model, train)
+
+
+# ---------------------------------------------------------------- the index
+class TestScoreIndex:
+    def test_from_model_copies_factors(self, trained, index):
+        model, train = trained
+        user_vecs, item_vecs = model.scoring_factors()
+        np.testing.assert_array_equal(index.user_vecs, user_vecs)
+        np.testing.assert_array_equal(index.item_vecs, item_vecs)
+        assert index.user_vecs is not user_vecs  # frozen copy, not a view
+        np.testing.assert_array_equal(index.train_indptr, train.user_offsets)
+        np.testing.assert_array_equal(index.train_indices, train.item_ids)
+
+    def test_from_model_requires_factors(self, trained):
+        _, train = trained
+
+        class Unfactored:
+            def scoring_factors(self):
+                return None
+
+        with pytest.raises(ValueError, match="scoring_factors"):
+            ScoreIndex.from_model(Unfactored(), train)
+
+    def test_store_round_trip_bit_identity(self, index, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        config = {"model": "BPRMF", "seed": 3}
+        artifact = index.save(store, config)
+        loaded = ScoreIndex.load(store, config)
+        assert loaded is not None
+        for name in ("user_vecs", "item_vecs", "train_indptr", "train_indices"):
+            np.testing.assert_array_equal(
+                getattr(loaded, name), getattr(index, name), strict=True
+            )
+        assert loaded.meta["model"] == "BPRMF"
+        # ... and the loaded (mmap'd) index ranks identically.
+        users = np.arange(10)
+        ref = index.topk_users(users, 5)
+        got = loaded.topk_users(users, 5)
+        for r, g in zip(ref, got):
+            np.testing.assert_array_equal(g, r)
+        # Content addressing: same config resolves to the same digest.
+        assert ScoreIndex.by_digest(store, artifact.digest[:12]) is not None
+
+    def test_by_digest_miss_and_ambiguity(self, index, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        index.save(store, {"seed": 1})
+        index.save(store, {"seed": 2})
+        assert ScoreIndex.by_digest(store, "ffff") is None
+        with pytest.raises(ValueError, match="ambiguous"):
+            ScoreIndex.by_digest(store, "")
+
+    def test_topk_users_matches_recommend(self, trained, index):
+        model, train = trained
+        ids, scores, valid = index.topk_users(np.arange(12), 5)
+        for u in range(12):
+            ref = model.recommend(u, k=5, exclude=train.items_of_user(u))
+            assert ids[u, : valid[u]].tolist() == ref.tolist()
+            assert np.isfinite(scores[u, : valid[u]]).all()
+
+    def test_batch_composition_bit_identity(self, index):
+        """The same user's ids AND scores are byte-equal across batch shapes
+        — alone, in a small batch, in a padded-block-spanning batch."""
+        alone = index.topk_users(np.array([7]), 5)
+        small = index.topk_users(np.array([3, 7, 11]), 5)
+        big = index.topk_users(np.arange(40), 5)  # spans two padded blocks
+        np.testing.assert_array_equal(small[0][1], alone[0][0])
+        np.testing.assert_array_equal(small[1][1], alone[1][0], strict=True)
+        np.testing.assert_array_equal(big[0][7], alone[0][0])
+        np.testing.assert_array_equal(big[1][7], alone[1][0], strict=True)
+
+    def test_row_value_and_position_independence(self, index):
+        """The padding argument: at the fixed kernel geometry a row's scores
+        do not depend on what else is in the batch or where the row sits."""
+        rng = np.random.default_rng(5)
+        probe = rng.standard_normal(index.dim)
+        empty = np.zeros(0, dtype=np.int64)
+
+        def score_at(position, filler_seed):
+            filler = np.random.default_rng(filler_seed).standard_normal(
+                (8, index.dim)
+            )
+            vecs = filler.copy()
+            vecs[position] = probe
+            indptr = np.zeros(9, dtype=np.int64)
+            _, scores, _ = index.topk_vectors(vecs, 5, indptr, empty)
+            return scores[position]
+
+        base = score_at(0, filler_seed=11)
+        np.testing.assert_array_equal(score_at(0, filler_seed=99), base)
+        np.testing.assert_array_equal(score_at(5, filler_seed=99), base)
+
+    def test_zero_candidate_row_yields_empty(self, index):
+        """A fold-in user who observed every item has nothing to recommend."""
+        vecs = np.ones((1, index.dim))
+        indptr = np.array([0, index.num_items], dtype=np.int64)
+        indices = np.arange(index.num_items, dtype=np.int64)
+        ids, scores, valid = index.topk_vectors(vecs, 5, indptr, indices)
+        assert valid[0] == 0
+        assert (scores[0] == -np.inf).all()
+
+    def test_k_validation(self, index):
+        with pytest.raises(ValueError, match="k must be in"):
+            index.topk_users(np.array([0]), 0)
+        with pytest.raises(ValueError, match="k must be in"):
+            index.topk_users(np.array([0]), index.num_items + 1)
+        with pytest.raises(ValueError, match="user ids outside"):
+            index.topk_users(np.array([index.num_users]), 5)
+
+    def test_shape_validation(self, index):
+        with pytest.raises(ValueError, match="factor dim mismatch"):
+            ScoreIndex(
+                np.zeros((2, 3)), np.zeros((4, 5)),
+                np.zeros(3, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="num_users"):
+            ScoreIndex(
+                np.zeros((2, 3)), np.zeros((4, 3)),
+                np.zeros(5, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            )
+
+
+# ------------------------------------------------------------------- the LRU
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes 'a'
+        cache.put("c", 3)  # evicts 'b', the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + replace
+        cache.put("c", 3)  # evicts 'b'
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("x") is None
+        cache.put("x", 1)
+        cache.get("x")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert len(cache) == 1 and "x" in cache
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(0)
+
+
+# ----------------------------------------------------------------- fold-in
+class TestFoldIn:
+    def test_deterministic(self, index):
+        engine = FoldInEngine(index, FoldInConfig(seed=9))
+        a = engine.embed([1, 2, 3])
+        b = engine.embed([3, 1, 2, 2])  # order/duplicates don't matter
+        np.testing.assert_array_equal(a, b, strict=True)
+
+    def test_refinement_moves_off_warm_start(self, index):
+        warm = FoldInEngine(index, FoldInConfig(steps=0)).embed([1, 2, 3])
+        refined = FoldInEngine(index, FoldInConfig(steps=10)).embed([1, 2, 3])
+        np.testing.assert_array_equal(
+            warm, np.asarray(index.item_vecs)[[1, 2, 3]].mean(axis=0)
+        )
+        assert not np.array_equal(refined, warm)
+
+    def test_refinement_helps_ranking(self, index):
+        """Refined vectors should rank the observed items' neighborhood at
+        least as well as the raw centroid does — sanity, not a proof."""
+        items = [1, 2, 3]
+        engine = FoldInEngine(index, FoldInConfig(steps=15))
+        refined = engine.embed(items)
+        item_vecs = np.asarray(index.item_vecs)
+        # BPR pushes observed items above unobserved ones for this user.
+        scores = item_vecs @ refined
+        observed_mean = scores[items].mean()
+        rest = np.delete(scores, items).mean()
+        assert observed_mean > rest
+
+    def test_item_table_stays_frozen(self, index):
+        before = np.asarray(index.item_vecs).copy()
+        FoldInEngine(index, FoldInConfig(steps=10)).embed([4, 5])
+        np.testing.assert_array_equal(np.asarray(index.item_vecs), before)
+
+    def test_validation(self, index):
+        engine = FoldInEngine(index)
+        with pytest.raises(ValueError, match="at least one"):
+            engine.embed([])
+        with pytest.raises(ValueError, match="outside"):
+            engine.embed([index.num_items])
+        with pytest.raises(ValueError, match="outside"):
+            engine.embed([-1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FoldInConfig(steps=-1)
+        with pytest.raises(ValueError):
+            FoldInConfig(lr=0.0)
+        with pytest.raises(ValueError):
+            FoldInConfig(negatives_per_pos=0)
+
+
+# ----------------------------------------------------------------- service
+class TestRecommendService:
+    def test_batched_equals_single(self, index):
+        service = RecommendService(index)
+        requests = [{"user": u, "k": 5} for u in range(20)]
+        batched = service.recommend_many(requests)
+        singles = [service.recommend_one(r) for r in requests]
+        assert batched == singles
+
+    def test_mixed_k_batch_equals_single(self, index):
+        """Sub-batching by k: a k=3 request in a mostly-k=8 batch must match
+        its standalone result (truncating a k=8 selection is not
+        tie-identical to selecting k=3 directly)."""
+        service = RecommendService(index)
+        mixed = service.recommend_many(
+            [{"user": 0, "k": 8}, {"user": 1, "k": 3}, {"user": 2, "k": 8}]
+        )
+        assert mixed[1] == service.recommend_one({"user": 1, "k": 3})
+        assert mixed[0] == service.recommend_one({"user": 0, "k": 8})
+
+    def test_mixed_users_and_handles(self, index):
+        service = RecommendService(index)
+        handle = service.fold_in([1, 2, 3])
+        responses = service.recommend_many(
+            [{"user": 4, "k": 5}, {"handle": handle, "k": 5}]
+        )
+        assert responses[0]["user"] == 4
+        assert responses[1]["handle"] == handle
+        # Fold-in exclusions: none of the observed items come back.
+        assert not {1, 2, 3} & set(responses[1]["items"])
+        assert responses[1] == service.recommend_one({"handle": handle, "k": 5})
+
+    def test_foldin_recs_change_with_more_interactions(self, index):
+        service = RecommendService(index)
+        h1 = service.fold_in([1])
+        h2 = service.fold_in([1, 10, 11, 12])
+        assert h1 != h2
+        r1 = service.recommend_one({"handle": h1, "k": 10})
+        r2 = service.recommend_one({"handle": h2, "k": 10})
+        assert r1["items"] != r2["items"]
+
+    def test_k_clamped_to_catalog(self, index):
+        service = RecommendService(index)
+        response = service.recommend_one({"user": 0, "k": 10_000})
+        assert response["k"] == index.num_items
+        assert len(response["items"]) <= index.num_items
+        assert all(np.isfinite(response["scores"]))
+
+    def test_train_positives_never_returned(self, index):
+        service = RecommendService(index)
+        for u in range(10):
+            response = service.recommend_one({"user": u, "k": index.num_items})
+            seen = set(index.seen_items(u).tolist())
+            assert not seen & set(response["items"])
+            # Together the response and the mask cover the whole catalog.
+            assert len(response["items"]) == index.num_items - len(seen)
+
+    def test_lru_cache_counts(self, index):
+        service = RecommendService(index, cache_capacity=4)
+        service.recommend_many([{"user": u, "k": 3} for u in (0, 1, 2, 3)])
+        assert service.user_cache.stats()["misses"] == 4
+        service.recommend_one({"user": 2, "k": 3})
+        assert service.user_cache.stats()["hits"] == 1
+        service.recommend_many([{"user": u, "k": 3} for u in (4, 5)])  # evicts 0, 1
+        assert service.user_cache.stats()["evictions"] == 2
+        service.recommend_one({"user": 0, "k": 3})
+        assert service.user_cache.stats()["misses"] == 7
+
+    def test_validation_errors(self, index):
+        service = RecommendService(index)
+        with pytest.raises(ValueError, match="exactly one"):
+            service.validate_request({"k": 5})
+        with pytest.raises(ValueError, match="exactly one"):
+            service.validate_request({"user": 0, "handle": "x", "k": 5})
+        with pytest.raises(ValueError, match="out of range"):
+            service.validate_request({"user": index.num_users, "k": 5})
+        with pytest.raises(ValueError, match="out of range"):
+            service.validate_request({"user": -1, "k": 5})
+        with pytest.raises(ValueError, match="unknown fold-in handle"):
+            service.validate_request({"handle": "foldin-nope", "k": 5})
+        with pytest.raises(ValueError, match="k must be positive"):
+            service.validate_request({"user": 0, "k": 0})
+
+    def test_stats_shape(self, index):
+        service = RecommendService(index)
+        service.recommend_many([{"user": 0, "k": 2}, {"user": 1, "k": 3}])
+        stats = service.stats()
+        assert stats["requests_served"] == 2
+        assert stats["batches"] == 1
+        assert stats["kernel_calls"] == 2  # one per distinct k
+        assert stats["max_batch"] == 2
+        assert stats["index"]["num_users"] == index.num_users

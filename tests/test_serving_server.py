@@ -1,0 +1,260 @@
+"""HTTP front end: round trips, micro-batching, telemetry, kill-and-restart.
+
+Each test spins the asyncio server on an ephemeral port inside
+``asyncio.run`` — client and server share one event loop, exactly how the
+throughput benchmark drives it.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionDataset
+from repro.models import BPRMF
+from repro.serving import (
+    RecommendServer,
+    RecommendService,
+    ScoreIndex,
+    ServingClient,
+)
+from repro.store import ArtifactStore
+from repro.utils.telemetry import RunLogger, read_run_log
+
+NUM_USERS, NUM_ITEMS = 30, 25
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(1)
+    train = InteractionDataset(
+        rng.integers(0, NUM_USERS, 400), rng.integers(0, NUM_ITEMS, 400),
+        NUM_USERS, NUM_ITEMS,
+    )
+    # Untrained embeddings rank deterministically — fine for protocol tests.
+    return ScoreIndex.from_model(BPRMF(NUM_USERS, NUM_ITEMS, dim=8, seed=2), train)
+
+
+def run_with_server(index, scenario, **server_kw):
+    """Start a server, run ``scenario(client, server)``, tear down."""
+
+    async def main():
+        service = RecommendService(index)
+        server = RecommendServer(service, port=0, **server_kw)
+        host, port = await server.start()
+        try:
+            async with ServingClient(host, port) as client:
+                return await scenario(client, server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestHttpRoutes:
+    def test_healthz_stats_and_recommend(self, index):
+        async def scenario(client, server):
+            status, body = await client.get("/healthz")
+            assert (status, body) == (200, {"ok": True})
+            status, body = await client.recommend(user=3, k=5)
+            assert status == 200 and body["user"] == 3
+            expect = server.service.recommend_one({"user": 3, "k": 5})
+            assert body["items"] == expect["items"]
+            assert body["scores"] == expect["scores"]
+            status, body = await client.get("/stats")
+            assert status == 200 and body["requests_served"] >= 2
+            return True
+
+        assert run_with_server(index, scenario)
+
+    def test_foldin_round_trip(self, index):
+        async def scenario(client, server):
+            status, body = await client.fold_in([1, 2, 3])
+            assert status == 200
+            handle = body["handle"]
+            status, body = await client.recommend(handle=handle, k=5)
+            assert status == 200 and body["handle"] == handle
+            assert not {1, 2, 3} & set(body["items"])
+            # More observed interactions → new handle, different recs.
+            status, body2 = await client.fold_in([1, 2, 3, 10, 11, 12])
+            assert body2["handle"] != handle
+            status, more = await client.recommend(handle=body2["handle"], k=5)
+            assert more["items"] != body["items"]
+            return True
+
+        assert run_with_server(index, scenario)
+
+    def test_error_statuses(self, index):
+        async def scenario(client, server):
+            cases = [
+                ("GET", f"/recommend?user={NUM_USERS}&k=5", None, 400),
+                ("GET", "/recommend?user=0&k=0", None, 400),
+                ("GET", "/recommend?user=0&handle=x&k=5", None, 400),
+                ("GET", "/recommend?user=abc&k=5", None, 400),
+                ("GET", "/recommend?handle=foldin-nope&k=5", None, 400),
+                ("POST", "/foldin", {"items": "nope"}, 400),
+                ("POST", "/foldin", {"items": [0, NUM_ITEMS]}, 400),
+                ("POST", "/foldin", {}, 400),
+                ("GET", "/nope", None, 404),
+            ]
+            for method, path, payload, expect in cases:
+                status, body = await client.request(method, path, payload)
+                assert status == expect, (method, path, status, body)
+                assert "error" in body
+            # The connection survives error responses (keep-alive).
+            status, _ = await client.get("/healthz")
+            assert status == 200
+            return True
+
+        assert run_with_server(index, scenario)
+
+    def test_keep_alive_many_requests_one_connection(self, index):
+        async def scenario(client, server):
+            for i in range(20):
+                status, body = await client.recommend(user=i % NUM_USERS, k=4)
+                assert status == 200
+            return True
+
+        assert run_with_server(index, scenario)
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_coalesce(self, index):
+        """Concurrent clients produce at least one multi-request batch, and
+        every coalesced response equals its single-request twin."""
+
+        async def main():
+            service = RecommendService(index)
+            server = RecommendServer(service, port=0, max_batch=32)
+            host, port = await server.start()
+            clients = [await ServingClient(host, port).connect() for _ in range(12)]
+
+            async def burst(client, worker):
+                out = []
+                for j in range(5):
+                    status, body = await client.recommend(
+                        user=(worker * 5 + j) % NUM_USERS, k=5
+                    )
+                    assert status == 200
+                    out.append(body)
+                return out
+
+            try:
+                results = await asyncio.gather(
+                    *[burst(c, i) for i, c in enumerate(clients)]
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+                await server.stop()
+            return service, results
+
+        service, results = asyncio.run(main())
+        stats = service.stats()
+        assert stats["requests_served"] == 60
+        assert stats["max_batch"] > 1, "no request coalescing happened"
+        assert stats["batches"] < stats["requests_served"]
+        # Batched results == single-request scoring, bit for bit.
+        fresh = RecommendService(index)
+        for worker, batch in enumerate(results):
+            for j, body in enumerate(batch):
+                user = (worker * 5 + j) % NUM_USERS
+                expect = fresh.recommend_one({"user": user, "k": 5})
+                assert body["items"] == expect["items"]
+                assert body["scores"] == expect["scores"]
+
+    def test_max_batch_cap_respected(self, index):
+        async def main():
+            service = RecommendService(index)
+            server = RecommendServer(service, port=0, max_batch=3)
+            host, port = await server.start()
+            clients = [await ServingClient(host, port).connect() for _ in range(8)]
+            try:
+                await asyncio.gather(
+                    *[c.recommend(user=i, k=4) for i, c in enumerate(clients)]
+                )
+            finally:
+                for c in clients:
+                    await c.close()
+                await server.stop()
+            return service.stats()
+
+        stats = asyncio.run(main())
+        assert stats["max_batch"] <= 3
+
+
+class TestTelemetry:
+    def test_request_and_batch_events_logged(self, index, tmp_path):
+        log_path = tmp_path / "serve.jsonl"
+
+        async def scenario(client, server):
+            await client.recommend(user=0, k=5)
+            await client.fold_in([1, 2])
+            await client.get("/nope")
+            return True
+
+        logger = RunLogger(log_path, run_id="serve-test")
+        try:
+            run_with_server(index, scenario, logger=logger)
+        finally:
+            logger.close()
+        events = read_run_log(log_path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "serve_start"
+        assert kinds[-1] == "serve_stop"
+        requests = [e for e in events if e["event"] == "request"]
+        assert [(r["path"], r["status"]) for r in requests] == [
+            ("/recommend", 200),
+            ("/foldin", 200),
+            ("/nope", 404),
+        ]
+        assert all(r["run_id"] == "serve-test" for r in requests)
+        assert any(e["event"] == "batch" and e["size"] >= 1 for e in events)
+
+
+class TestKillAndRestart:
+    def test_restart_from_store_without_dataset(self, index, tmp_path):
+        """Freeze → serve → kill → restart from the artifact store alone.
+
+        The second server is built purely from ``ScoreIndex.by_digest`` —
+        no model object, no InteractionDataset — and must answer every
+        request byte-identically to the first one.
+        """
+        store = ArtifactStore(tmp_path / "store")
+        artifact = index.save(store, {"model": "BPRMF", "seed": 2})
+        digest = artifact.digest[:16]
+
+        async def collect(idx):
+            service = RecommendService(idx)
+            server = RecommendServer(service, port=0)
+            host, port = await server.start()
+            try:
+                async with ServingClient(host, port) as client:
+                    out = []
+                    for u in range(10):
+                        status, body = await client.recommend(user=u, k=5)
+                        assert status == 200
+                        out.append(body)
+                    status, fold = await client.fold_in([1, 2, 3])
+                    assert status == 200
+                    status, fold_rec = await client.recommend(
+                        handle=fold["handle"], k=5
+                    )
+                    out.append(fold_rec)
+                    return out
+            finally:
+                await server.stop()
+
+        before = asyncio.run(collect(ScoreIndex.by_digest(store, digest)))
+        # "Kill": nothing survives but the store directory.
+        reloaded = ScoreIndex.by_digest(store, digest)
+        assert reloaded is not None
+        after = asyncio.run(collect(reloaded))
+        assert json.dumps(before, sort_keys=True) == json.dumps(after, sort_keys=True)
+
+    def test_corrupt_store_entry_is_a_miss(self, index, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        artifact = index.save(store, {"model": "BPRMF"})
+        (artifact.path / "user_vecs.npy").write_bytes(b"garbage")
+        assert ScoreIndex.by_digest(store, artifact.digest[:16]) is None

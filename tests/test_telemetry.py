@@ -79,6 +79,63 @@ class TestRunLogger:
             read_run_log(path)
 
 
+class TestConcurrentWriters:
+    def test_concurrent_threads_never_tear_lines(self, tmp_path):
+        """Regression: unsynchronized write+flush pairs from concurrent
+        request handlers could interleave and tear JSONL lines mid-file —
+        beyond the torn-*tail* tolerance of read_run_log.  The logger lock
+        must keep every line atomic."""
+        import threading
+
+        path = tmp_path / "serve.jsonl"
+        writers, per_writer = 8, 200
+        with RunLogger(path, run_id="serve") as log:
+            barrier = threading.Barrier(writers)
+
+            def hammer(worker):
+                barrier.wait()
+                for i in range(per_writer):
+                    log.log("request", worker=worker, seq=i)
+
+            threads = [
+                threading.Thread(target=hammer, args=(w,)) for w in range(writers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        events = read_run_log(path)  # raises on any torn interior line
+        assert len(events) == writers * per_writer
+        for w in range(writers):
+            seqs = [e["seq"] for e in events if e["worker"] == w]
+            assert seqs == sorted(seqs)  # each writer's own order preserved
+
+    def test_close_is_thread_safe_with_logging(self, tmp_path):
+        """A log() racing close() either writes or raises — never crashes on
+        a half-closed handle."""
+        import threading
+
+        path = tmp_path / "race.jsonl"
+        log = RunLogger(path)
+        errors = []
+
+        def spam():
+            try:
+                for _ in range(500):
+                    log.log("tick")
+            except ValueError:
+                return  # closed mid-loop: the documented behavior
+            except Exception as exc:  # anything else is a real failure
+                errors.append(exc)
+
+        t = threading.Thread(target=spam)
+        t.start()
+        log.close()
+        t.join()
+        assert not errors
+        read_run_log(path)  # whatever landed is intact JSONL
+
+
 class TestFitTelemetry:
     def test_one_epoch_event_per_epoch(self, tiny_data, tmp_path):
         path = tmp_path / "fit.jsonl"
