@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke
+.PHONY: verify lint reprolint graphlint lint-changed typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke
 
-verify: lint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke
+verify: lint graphlint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -20,6 +20,18 @@ lint: reprolint
 
 reprolint:
 	$(PYTHON) -m repro.cli lint src
+
+# Interprocedural graph rules (RPL011-RPL014) over the whole tree; the
+# content-hash summary cache makes repeat runs incremental. The baseline
+# ratchet file is kept empty on purpose: new findings fail immediately.
+graphlint:
+	$(PYTHON) -m repro.cli lint --graph --select RPL011,RPL012,RPL013,RPL014 src
+
+# Lexical + graph rules, reported only for files changed vs main (plus
+# untracked files). Graph analysis still sees the whole tree — summaries for
+# unchanged files come from the warm cache, so this stays fast.
+lint-changed:
+	$(PYTHON) -m repro.cli lint --graph --changed-since main src
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \

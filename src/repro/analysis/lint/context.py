@@ -149,6 +149,7 @@ class LintContext:
                 code=rule.code,
                 message=message,
                 rule=rule.name,
+                end_col=getattr(node, "end_col_offset", None) or 0,
             )
         )
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Sequence
 
 __all__ = ["Finding", "SCHEMA_VERSION", "render_text", "render_json", "summarize"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Code reported when a file cannot be parsed (counts as a finding, not an
 #: internal error: a broken file in the linted tree is the tree's problem).
@@ -28,8 +28,11 @@ PARSE_ERROR_CODE = "RPL000"
 class Finding:
     """One rule violation.
 
-    Ordering is (path, line, col, code) so reports are stable regardless of
-    rule execution order.
+    Ordering is (path, line, col, code) — ``end_col`` sits last in the field
+    list so it never participates in the sort before the code does — making
+    reports stable regardless of rule execution order *and* of the order the
+    filesystem walk delivered files in (rglob order differs across
+    platforms; the sort, not the walk, defines the output).
     """
 
     path: str
@@ -38,6 +41,10 @@ class Finding:
     code: str
     message: str
     rule: str
+    end_col: int = 0
+    """End column of the flagged expression (0 when the node has no
+    ``end_col_offset``); lets CI diffs and baseline matching distinguish two
+    findings of one rule on the same line."""
 
     def as_dict(self) -> dict:
         return {
@@ -46,6 +53,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_col": self.end_col,
             "message": self.message,
         }
 

@@ -1,0 +1,59 @@
+"""Interprocedural graph analysis for reprolint.
+
+Where :mod:`repro.analysis.lint` rules are per-file and lexical, this package
+builds one analysis artifact for the whole linted tree — a module/call graph
+with abstract dataflow summaries per function — and runs four rule families
+over it:
+
+- **RPL011** determinism taint: an unseeded RNG value flowing (through
+  calls, returns, and default arguments) into model/autograd/eval/serving
+  entry points;
+- **RPL012** dtype lattice: float64 values meeting float32 values at a call
+  into the float32 fast path (the static twin of the runtime upcast
+  sanitizer);
+- **RPL013** async/lock discipline: blocking calls reachable from the
+  serving layer's ``async def`` handlers without an executor hop, and
+  lock-owning classes written without their lock from handler-reachable
+  code;
+- **RPL014** funnel escape: call paths from models/eval/serving into raw
+  kernel backends or the ``np.save`` family that bypass the
+  dispatch/store/io funnels through helpers.
+
+Function summaries are cached by file content hash (see
+:mod:`~repro.analysis.lint.graph.cache`), so warm runs skip parsing
+unchanged files entirely.  Entry point: :func:`run_graph_lint`; CLI:
+``repro lint --graph``.
+"""
+
+from repro.analysis.lint.graph.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.graph.cache import SummaryCache
+from repro.analysis.lint.graph.engine import (
+    DEFAULT_GRAPH_CONFIG,
+    GraphConfig,
+    GraphLintReport,
+    graph_codes,
+    run_graph_lint,
+)
+from repro.analysis.lint.graph.program import ProgramGraph
+from repro.analysis.lint.graph.summary import SUMMARY_VERSION, summarize_module
+
+__all__ = [
+    "GraphConfig",
+    "DEFAULT_GRAPH_CONFIG",
+    "GraphLintReport",
+    "ProgramGraph",
+    "SummaryCache",
+    "SUMMARY_VERSION",
+    "BASELINE_SCHEMA_VERSION",
+    "run_graph_lint",
+    "graph_codes",
+    "summarize_module",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,118 @@
+"""Content-addressed cache of per-module summaries.
+
+Graph lint's cost is dominated by parsing + summarizing every file; the
+analysis over the finished summaries is cheap.  The cache stores one JSON
+document mapping each file path to ``{sha256, summary}``, so a warm run only
+hashes file contents (no parsing) for unchanged files.
+
+Invalidation is by value, not by mtime: a touched-but-identical file still
+hits, a changed file always misses.  Entries written by a different
+:data:`~repro.analysis.lint.graph.summary.SUMMARY_VERSION` are discarded
+wholesale on load, so shape changes to the summary format can never be
+misread.  Writes are atomic (tmp file + ``os.replace``) — a crashed run
+leaves the previous cache intact, and the worst possible failure mode of a
+corrupt or missing cache file is a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.lint.graph.summary import (
+    SUMMARY_VERSION,
+    ModuleSummaryError,
+    summarize_module,
+)
+
+__all__ = ["SummaryCache", "DEFAULT_CACHE_NAME", "content_hash"]
+
+#: Default cache file name, created next to the linted tree's cwd.
+DEFAULT_CACHE_NAME = ".reprolint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    """SHA-256 hex digest of raw file bytes — the cache invalidation key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class SummaryCache:
+    """Load-once / save-once summary cache keyed by file content hash.
+
+    Usage::
+
+        cache = SummaryCache(Path(".reprolint-cache.json"))
+        summary, hit = cache.summarize(path)   # parse only on miss
+        ...
+        cache.save()                           # persist for the next run
+
+    A ``path`` of ``None`` disables persistence entirely (every call is a
+    miss and ``save()`` is a no-op) — used by tests that want cold runs.
+    """
+
+    def __init__(self, path: Optional[Path]):
+        self.path = Path(path) if path is not None else None
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return  # corrupt cache == cold run
+        if not isinstance(doc, dict) or doc.get("version") != SUMMARY_VERSION:
+            return
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    # ------------------------------------------------------------------ api
+    def summarize(self, file_path: Path) -> Tuple[dict, bool]:
+        """Return ``(module_summary, was_cache_hit)`` for one file.
+
+        Parse errors are summarized as ``{"error": message}`` pseudo-modules
+        (and cached like any other result) so a broken file costs one parse
+        attempt per content version, not one per run.
+        """
+        norm = str(file_path).replace("\\", "/")
+        data = Path(file_path).read_bytes()
+        digest = content_hash(data)
+        entry = self._entries.get(norm)
+        if entry is not None and entry.get("sha256") == digest:
+            self.hits += 1
+            return entry["summary"], True
+        self.misses += 1
+        try:
+            summary = summarize_module(data.decode("utf-8", errors="replace"), norm)
+        except ModuleSummaryError as err:
+            summary = {"version": SUMMARY_VERSION, "path": norm, "error": str(err)}
+        self._entries[norm] = {"sha256": digest, "summary": summary}
+        self._dirty = True
+        return summary, False
+
+    def prune(self, keep_paths) -> None:
+        """Drop entries for files no longer part of the linted tree."""
+        keep = {str(p).replace("\\", "/") for p in keep_paths}
+        stale = [p for p in self._entries if p not in keep]
+        for p in stale:
+            del self._entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        doc = {"version": SUMMARY_VERSION, "entries": self._entries}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(doc, separators=(",", ":"), sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        self._dirty = False

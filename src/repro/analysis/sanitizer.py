@@ -151,6 +151,7 @@ def _sanitized_tensor_init(original: Callable) -> Callable:
             label = name or f"Tensor{self.data.shape}"
             _check_finite(self.data, label, "data")
 
+    wrapped.__sanitizer_wrapped__ = True
     return wrapped
 
 
@@ -166,6 +167,7 @@ def _sanitized_accumulate_grad(original: Callable) -> Callable:
             _check_finite(np.asarray(grad), f"accumulate_grad[{label}]", "gradient")
         original(self, grad, owned)
 
+    wrapped.__sanitizer_wrapped__ = True
     return wrapped
 
 
@@ -191,6 +193,7 @@ def _sanitized_step(original: Callable) -> Callable:
                 label = p.name or f"param{p.data.shape}"
                 _check_finite(p.data, f"step[{label}]", "updated parameter")
 
+    wrapped.__sanitizer_wrapped__ = True
     return wrapped
 
 
@@ -208,25 +211,47 @@ def is_enabled() -> bool:
     return _installed
 
 
+def _already_wrapped(fn: Callable) -> bool:
+    return bool(getattr(fn, "__sanitizer_wrapped__", False))
+
+
 def enable() -> None:
-    """Install the instrumentation (idempotent)."""
+    """Install the instrumentation (idempotent).
+
+    Guarded twice: the module-level ``_installed`` flag short-circuits the
+    common repeat call (``REPRO_SANITIZE=1`` install at import plus an
+    explicit ``sanitized()`` block), and a per-function
+    ``__sanitizer_wrapped__`` marker refuses to wrap an already-instrumented
+    attribute even if the flag is ever out of sync with the patched engine
+    (e.g. the sanitizer module imported under two names).  Without the
+    second guard a double install would also poison ``disable()``: the
+    "original" it saves on the second pass is the first pass's wrapper, so
+    the engine could never be fully restored.
+    """
     global _installed, _saved_tensor_init, _saved_accumulate_grad, _saved_step
     if _installed:
         return
     for name in F.__all__:
         fn = getattr(F, name)
+        if _already_wrapped(fn):
+            continue
         _saved_ops[name] = fn
         setattr(F, name, _wrap_op(name, fn))
     for name in _dispatch.TENSOR_OPS:
         fn = getattr(_dispatch, name)
+        if _already_wrapped(fn):
+            continue
         _saved_dispatch_ops[name] = fn
         setattr(_dispatch, name, _wrap_op(name, fn))
-    _saved_tensor_init = Tensor.__init__
-    Tensor.__init__ = _sanitized_tensor_init(_saved_tensor_init)
-    _saved_accumulate_grad = Tensor.accumulate_grad
-    Tensor.accumulate_grad = _sanitized_accumulate_grad(_saved_accumulate_grad)
-    _saved_step = _optim.Optimizer.step
-    _optim.Optimizer.step = _sanitized_step(_saved_step)
+    if not _already_wrapped(Tensor.__init__):
+        _saved_tensor_init = Tensor.__init__
+        Tensor.__init__ = _sanitized_tensor_init(_saved_tensor_init)
+    if not _already_wrapped(Tensor.accumulate_grad):
+        _saved_accumulate_grad = Tensor.accumulate_grad
+        Tensor.accumulate_grad = _sanitized_accumulate_grad(_saved_accumulate_grad)
+    if not _already_wrapped(_optim.Optimizer.step):
+        _saved_step = _optim.Optimizer.step
+        _optim.Optimizer.step = _sanitized_step(_saved_step)
     _installed = True
 
 
@@ -241,9 +266,12 @@ def disable() -> None:
     for name, fn in _saved_dispatch_ops.items():
         setattr(_dispatch, name, fn)
     _saved_dispatch_ops.clear()
-    Tensor.__init__ = _saved_tensor_init
-    Tensor.accumulate_grad = _saved_accumulate_grad
-    _optim.Optimizer.step = _saved_step
+    if _saved_tensor_init is not None:
+        Tensor.__init__ = _saved_tensor_init
+    if _saved_accumulate_grad is not None:
+        Tensor.accumulate_grad = _saved_accumulate_grad
+    if _saved_step is not None:
+        _optim.Optimizer.step = _saved_step
     _saved_tensor_init = _saved_accumulate_grad = _saved_step = None
     _installed = False
 

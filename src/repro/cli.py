@@ -186,7 +186,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         type=str,
         default=None,
-        help="comma-separated rule codes to run (e.g. RPL001,RPL004); default all",
+        help="comma-separated rule codes to run (e.g. RPL001,RPL013); default all",
+    )
+    p_lint.add_argument(
+        "--graph",
+        action="store_true",
+        help="also run the interprocedural graph rules (RPL011-RPL014): "
+        "RNG taint, dtype mixing, async/lock discipline, funnel escape",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="ratchet file: findings recorded there are tolerated, only new "
+        "ones fail the run (stale entries are reported to stderr)",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the current findings to PATH as the new baseline and exit 0",
+    )
+    p_lint.add_argument(
+        "--cache",
+        type=str,
+        default=".reprolint-cache.json",
+        metavar="PATH",
+        help="graph summary cache (content-hash keyed; unchanged files skip "
+        "parsing on warm runs)",
+    )
+    p_lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the graph summary cache (force a cold run)",
+    )
+    p_lint.add_argument(
+        "--changed-since",
+        type=str,
+        default=None,
+        metavar="REF",
+        help="report only findings in files changed vs git REF (plus "
+        "untracked files); graph analysis still sees the whole tree",
     )
 
     p_san = sub.add_parser(
@@ -458,6 +500,29 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _changed_files(ref: str) -> set:
+    """Repo-relative paths changed vs ``ref`` plus untracked files."""
+    import subprocess
+
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return {
+        line.strip().replace("\\", "/")
+        for line in (diff + untracked).splitlines()
+        if line.strip()
+    }
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import (
         EXIT_INTERNAL_ERROR,
@@ -470,17 +535,67 @@ def _cmd_lint(args) -> int:
     try:
         select = None
         if args.select is not None:
-            select = frozenset(c.strip() for c in args.select.split(",") if c.strip())
-        config = LintConfig(select=select)
-        report = run_lint(args.paths, config=config)
+            select = frozenset(
+                c.strip().upper() for c in args.select.split(",") if c.strip()
+            )
+        lex_select = select
+        graph_select = None
+        if select is not None and args.graph:
+            # One --select serves both engines: each takes its own codes.
+            from repro.analysis.lint.graph import graph_codes
+
+            lex_select = frozenset(select - graph_codes())
+            graph_select = frozenset(select & graph_codes())
+        report = run_lint(args.paths, config=LintConfig(select=lex_select))
+        findings = list(report.findings)
+        files_checked = report.files_checked
+        if args.graph:
+            from repro.analysis.lint.graph import GraphConfig, run_graph_lint
+
+            greport = run_graph_lint(
+                args.paths,
+                config=GraphConfig(select=graph_select),
+                cache_path=None if args.no_cache else args.cache,
+            )
+            findings.extend(greport.findings)
+        if args.changed_since is not None:
+            changed = _changed_files(args.changed_since)
+            findings = [f for f in findings if f.path in changed]
+        findings = sorted(set(findings))
     except Exception as exc:  # missing paths, unknown codes, engine bugs
         print(f"reprolint: internal error: {exc}", file=sys.stderr)
         return EXIT_INTERNAL_ERROR
+
+    if args.write_baseline:
+        from repro.analysis.lint.graph import write_baseline
+
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"reprolint: wrote baseline with {len(findings)} entries "
+            f"to {args.write_baseline}"
+        )
+        return 0
+    stale = []
+    if args.baseline:
+        from repro.analysis.lint.graph import apply_baseline, load_baseline
+
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: internal error: {exc}", file=sys.stderr)
+            return EXIT_INTERNAL_ERROR
+        findings, _matched, stale = apply_baseline(findings, entries)
     if args.format == "json":
-        print(render_json(report.findings, report.files_checked))
+        print(render_json(findings, files_checked))
     else:
-        print(render_text(report.findings, report.files_checked))
-    return report.exit_code
+        print(render_text(findings, files_checked))
+    for entry in stale:
+        print(
+            "reprolint: baseline entry no longer matches (fixed?): "
+            f"{entry['path']}:{entry['line']} {entry['code']}",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
 
 
 def _cmd_sanitize_run(args) -> int:

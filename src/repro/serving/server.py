@@ -23,14 +23,21 @@ Routes (all JSON):
 
 Telemetry: every request appends one JSONL event through the (lock-guarded)
 :class:`~repro.utils.telemetry.RunLogger`, plus per-batch size events —
-``repro report`` summarizes a serving log like any training log.
+``repro report`` summarizes a serving log like any training log.  The
+logger's locked file write must never run on the event loop, so all events
+go through :meth:`RecommendServer._log`, which hops to a dedicated
+single-worker executor: one worker drains submissions FIFO, so the JSONL
+event order is exactly the submission order handlers would have produced
+writing inline.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -75,6 +82,25 @@ class RecommendServer:
         self._queue: "asyncio.Queue[Tuple[dict, asyncio.Future]]" = asyncio.Queue()
         self._server: Optional[asyncio.base_events.Server] = None
         self._batcher: Optional[asyncio.Task] = None
+        self._log_pool: Optional[ThreadPoolExecutor] = None
+
+    # ---------------------------------------------------------------- telemetry
+    async def _log(self, event: str, **fields) -> None:
+        """Append one telemetry event without blocking the event loop.
+
+        :meth:`RunLogger.log` holds a lock around a file write; a single
+        worker thread keeps events in submission order while the loop stays
+        free to serve other connections.
+        """
+        if self.logger is None:
+            return
+        if self._log_pool is None:
+            self._log_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-telemetry"
+            )
+        await asyncio.get_running_loop().run_in_executor(
+            self._log_pool, functools.partial(self.logger.log, event, **fields)
+        )
 
     # ---------------------------------------------------------------- lifecycle
     async def start(self) -> Tuple[str, int]:
@@ -82,10 +108,9 @@ class RecommendServer:
         self._server = await asyncio.start_server(self._handle_conn, self.host, self.port)
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         self._batcher = asyncio.get_running_loop().create_task(self._batch_loop())
-        if self.logger is not None:
-            self.logger.log(
-                "serve_start", host=self.host, port=self.port, max_batch=self.max_batch
-            )
+        await self._log(
+            "serve_start", host=self.host, port=self.port, max_batch=self.max_batch
+        )
         return self.host, self.port
 
     async def stop(self) -> None:
@@ -100,8 +125,10 @@ class RecommendServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self.logger is not None:
-            self.logger.log("serve_stop", **self.service.stats())
+        await self._log("serve_stop", **self.service.stats())
+        if self._log_pool is not None:
+            self._log_pool.shutdown(wait=True)
+            self._log_pool = None
 
     async def run(self) -> None:
         """Start and serve until cancelled (the ``repro serve`` entry)."""
@@ -137,8 +164,7 @@ class RecommendServer:
             for (_, fut), response in zip(live, responses):
                 if not fut.done():
                     fut.set_result(response)
-            if self.logger is not None:
-                self.logger.log("batch", size=len(live))
+            await self._log("batch", size=len(live))
 
     # ------------------------------------------------------------------- routes
     async def _route(self, method: str, target: str, body: bytes) -> dict:
@@ -223,14 +249,13 @@ class RecommendServer:
                 except _HttpError as exc:
                     payload = {"error": exc.message}
                     status = exc.status
-                if self.logger is not None:
-                    self.logger.log(
-                        "request",
-                        method=method,
-                        path=urlsplit(target).path,
-                        status=status,
-                        seconds=time.perf_counter() - start,
-                    )
+                await self._log(
+                    "request",
+                    method=method,
+                    path=urlsplit(target).path,
+                    status=status,
+                    seconds=time.perf_counter() - start,
+                )
                 await self._respond(writer, status, payload, keep_alive=keep_alive)
                 if not keep_alive:
                     break

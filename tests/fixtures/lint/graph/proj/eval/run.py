@@ -1,0 +1,30 @@
+"""Consumer-layer persistence and kernel access: RPL014 cases."""
+
+import numpy as np
+
+from proj.kernels import backend, dispatch
+from proj.utils import save_helper
+
+
+def save_direct(x, path):
+    np.save(path, x)  # expect: RPL014
+
+
+def save_via_helper(x, path):
+    save_helper(x, path)  # expect: RPL014
+
+
+def kernel_direct(x):
+    return backend.fast_scores(x)  # expect: RPL014
+
+
+def kernel_via_funnel(x):
+    return dispatch.scores(x)
+
+
+def save_via_funnel(x, path):
+    dispatch.store(x, path)
+
+
+def save_suppressed(x, path):
+    np.save(path, x)  # reprolint: disable=RPL014

@@ -1,0 +1,5 @@
+"""Raw kernel backend: consumers must reach this through dispatch only."""
+
+
+def fast_scores(x):
+    return x

@@ -1,0 +1,36 @@
+"""Call-site-sensitive callers: the same helper, seeded and unseeded."""
+
+import numpy as np
+
+from proj.flow import run_fit
+from proj.models.net import score
+
+
+def main_unseeded():
+    return run_fit(None, 1)  # expect: RPL011
+
+
+def main_seeded():
+    return run_fit(7, 1)
+
+
+def main_suppressed():
+    return run_fit(None, 2)  # reprolint: disable=RPL011
+
+
+def mixed_precision():
+    a = np.zeros(4)
+    b = np.zeros(4, dtype=np.float32)
+    return score(a, b)  # expect: RPL012
+
+
+def uniform_precision():
+    a = np.zeros(4, dtype=np.float32)
+    b = np.ones(4, dtype=np.float32)
+    return score(a, b)
+
+
+def mixed_suppressed():
+    a = np.ones(4)
+    b = np.ones(4, dtype=np.float32)
+    return score(a, b)  # reprolint: disable=RPL012

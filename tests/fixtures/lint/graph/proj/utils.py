@@ -1,0 +1,19 @@
+"""Helpers the graph rules must see through (none are reported here)."""
+
+import numpy as np
+
+
+def make_rng(seed=None):
+    """Forwarded-seed constructor: unseeded iff ``seed`` is None."""
+    return np.random.default_rng(seed)
+
+
+def slow_io(path):
+    """Blocks on file I/O — flagged only at serving-side call sites."""
+    with open(path) as fh:
+        return fh.read()
+
+
+def save_helper(x, path):
+    """Raw persistence — an escape when reached from a consumer layer."""
+    np.save(path, x)

@@ -50,7 +50,7 @@ def test_exit_two_on_unknown_select(clean_file, capsys):
 def test_json_format_parses(dirty_file, capsys):
     assert main(["lint", "--format", "json", str(dirty_file)]) == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["schema_version"] == 1
+    assert doc["schema_version"] == 2
     assert doc["summary"]["by_code"] == {"RPL005": 1}
 
 

@@ -71,12 +71,13 @@ class TestJsonSchema:
         findings = lint_source(BAD_LINE, path=MODEL_PATH, config=STRICT)
         doc = json.loads(render_json(findings, files_checked=1))
         assert list(doc) == ["schema_version", "tool", "files_checked", "findings", "summary"]
-        assert doc["schema_version"] == SCHEMA_VERSION == 1
+        assert doc["schema_version"] == SCHEMA_VERSION == 2
         assert doc["tool"] == "reprolint"
         assert doc["files_checked"] == 1
         assert doc["summary"] == {"total": 1, "by_code": {"RPL001": 1}}
         (entry,) = doc["findings"]
-        assert list(entry) == ["code", "rule", "path", "line", "col", "message"]
+        assert list(entry) == ["code", "rule", "path", "line", "col", "end_col", "message"]
+        assert entry["end_col"] > entry["col"]
         assert entry["code"] == "RPL001"
         assert entry["path"] == MODEL_PATH
         assert entry["line"] == 2
@@ -167,4 +168,12 @@ def test_clean_report_exit_code(tmp_path):
 def test_findings_order_stable():
     a = Finding(path="a.py", line=3, col=0, code="RPL004", message="m", rule="r")
     b = Finding(path="a.py", line=1, col=0, code="RPL001", message="m", rule="r")
+    assert sorted([a, b]) == [b, a]
+
+
+def test_findings_sorted_by_rule_not_by_end_col():
+    # end_col is informational: two findings at one location sort by code
+    # even when their end columns disagree with that order.
+    a = Finding(path="a.py", line=1, col=0, code="RPL004", message="m", rule="r", end_col=2)
+    b = Finding(path="a.py", line=1, col=0, code="RPL001", message="m", rule="r", end_col=9)
     assert sorted([a, b]) == [b, a]
