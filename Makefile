@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint graphlint lint-changed typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke
+.PHONY: verify lint reprolint graphlint lint-changed typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke scale-smoke
 
-verify: lint graphlint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke
+verify: lint graphlint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke scale-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -65,6 +65,12 @@ kernels-smoke:
 # scale; benchmarks/test_bench_serving.py covers it).
 serving-smoke:
 	$(PYTHON) -m pytest -q tests/test_serving.py tests/test_serving_server.py
+
+# Out-of-core pipeline gate at 3e4 users in a subprocess: peak-RSS ceiling,
+# warm-rerun bit-safety (the 1e6-user run with the 10^7-interaction floor
+# lives in benchmarks/test_bench_scale.py at full scale).
+scale-smoke:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_scale.py -k "smoke"
 
 sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2

@@ -23,12 +23,19 @@ from repro.analysis.lint.rules.base import Rule
 __all__ = ["AdHocPersistenceRule"]
 
 #: Fully-qualified numpy persistence entry points the funnel layers wrap.
+#: The memmap/fromfile family is included so out-of-core code (streamed
+#: traces, chunked builders) cannot grow private block formats on the side:
+#: block payloads go through ArtifactStore like every other array, keeping
+#: sha256 verification and atomic writes on the scale path too.
 _PERSISTENCE_CALLS = frozenset(
     {
         "numpy.save",
         "numpy.savez",
         "numpy.savez_compressed",
         "numpy.load",
+        "numpy.memmap",
+        "numpy.fromfile",
+        "numpy.lib.format.open_memmap",
     }
 )
 
@@ -40,11 +47,11 @@ class AdHocPersistenceRule(Rule):
     code = "RPL009"
     name = "ad-hoc-persistence"
     description = (
-        "direct np.save/np.savez/np.load bypasses the persistence funnels "
-        "(repro.io checkpoints, repro.store artifacts) and their atomic-"
-        "write / allow_pickle=False / verification guarantees; route through "
-        "those layers, or suppress with a comment stating why raw numpy "
-        "persistence is required here."
+        "direct np.save/np.savez/np.load/np.memmap/np.fromfile/open_memmap "
+        "bypasses the persistence funnels (repro.io checkpoints, repro.store "
+        "artifacts) and their atomic-write / allow_pickle=False / "
+        "verification guarantees; route through those layers, or suppress "
+        "with a comment stating why raw numpy persistence is required here."
     )
     node_types = (ast.Call,)
 

@@ -8,13 +8,23 @@ consumed.
 """
 
 from repro.data.interactions import InteractionDataset, trace_to_interactions
-from repro.data.sampling import BPRSampler
+from repro.data.sampling import BPRSampler, ShardedBPRSampler, check_pair_key_space
 from repro.data.split import TrainTestSplit, per_user_split
+from repro.data.streaming import (
+    blocked_per_user_split,
+    interaction_pair_chunks,
+    streamed_trace_to_interactions,
+)
 
 __all__ = [
     "InteractionDataset",
     "trace_to_interactions",
+    "streamed_trace_to_interactions",
     "TrainTestSplit",
     "per_user_split",
+    "blocked_per_user_split",
+    "interaction_pair_chunks",
     "BPRSampler",
+    "ShardedBPRSampler",
+    "check_pair_key_space",
 ]

@@ -15,7 +15,12 @@ import scipy.sparse as sp
 
 from repro.facility.trace import QueryTrace
 
-__all__ = ["InteractionDataset", "trace_to_interactions"]
+__all__ = [
+    "InteractionDataset",
+    "trace_to_interactions",
+    "kcore_filter_masks",
+    "KCORE_MAX_ROUNDS",
+]
 
 
 class InteractionDataset:
@@ -88,27 +93,87 @@ class InteractionDataset:
         )
 
 
+#: Safety bound on k-core rounds.  Each round that does not converge drops at
+#: least one user or item, so ``max(num_users, num_items)`` rounds always
+#: suffice; this constant only exists to turn a logic bug into a loud error
+#: instead of an unbounded loop.
+KCORE_MAX_ROUNDS = 10_000
+
+
+def kcore_filter_masks(
+    pair_chunks,
+    num_users: int,
+    num_items: int,
+    min_user_interactions: int,
+    min_item_interactions: int,
+    max_rounds: int = KCORE_MAX_ROUNDS,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Fixed point of the alternating item/user degree filter.
+
+    ``pair_chunks`` is a callable returning a fresh iterator of deduplicated
+    ``(users, items)`` array chunks; it is consumed twice per round (once per
+    degree recount), so scratch memory stays at degree-vector size however
+    large the pair set is.  Each round recounts item degrees over surviving
+    pairs, drops items below ``min_item_interactions``, then does the same
+    for users — the item-then-user order of the original single pass —
+    until neither mask changes.  Returns boolean ``(user_keep, item_keep)``.
+    """
+    user_keep = np.ones(num_users, dtype=bool)
+    item_keep = np.ones(num_items, dtype=bool)
+    for _ in range(max_rounds):
+        changed = False
+        item_deg = np.zeros(num_items, dtype=np.int64)
+        for users, items in pair_chunks():
+            alive = user_keep[users] & item_keep[items]
+            item_deg += np.bincount(items[alive], minlength=num_items)
+        new_item = item_keep & (item_deg >= min_item_interactions)
+        if not np.array_equal(new_item, item_keep):
+            item_keep = new_item
+            changed = True
+        user_deg = np.zeros(num_users, dtype=np.int64)
+        for users, items in pair_chunks():
+            alive = user_keep[users] & item_keep[items]
+            user_deg += np.bincount(users[alive], minlength=num_users)
+        new_user = user_keep & (user_deg >= min_user_interactions)
+        if not np.array_equal(new_user, user_keep):
+            user_keep = new_user
+            changed = True
+        if not changed:
+            return user_keep, item_keep
+    raise RuntimeError(
+        f"k-core filtering did not converge within {max_rounds} rounds "
+        "(every non-final round must drop a user or item — this is a bug)"
+    )
+
+
 def trace_to_interactions(
     trace: QueryTrace,
     min_user_interactions: int = 5,
     min_item_interactions: int = 1,
 ) -> InteractionDataset:
-    """MovieLens-style preprocessing: dedup, then k-core-style filtering.
+    """MovieLens-style preprocessing: dedup, then k-core filtering.
 
     Users with fewer than ``min_user_interactions`` distinct items and items
-    below ``min_item_interactions`` distinct users are removed (one pass of
-    each; the paper does not iterate to a full k-core and with our traces a
-    single pass converges anyway).  Id spaces are preserved — filtered
-    users/items simply have no pairs — so catalog indices stay valid.
+    below ``min_item_interactions`` distinct users are removed, alternating
+    item and user passes **to a fixed point**: dropping a thin user lowers
+    item degrees, which can push items back under ``min_item_interactions``
+    (and vice versa), so a single pass of each is not enough on heavy-tailed
+    traces.  With the default ``min_item_interactions=1`` the fixed point
+    coincides with the historical single pass — dropping a user cannot
+    reduce a *surviving* item's degree to zero without deleting the item's
+    last pair — so cached splits keep their bits.  Id spaces are preserved:
+    filtered users/items simply have no pairs, and catalog indices stay
+    valid.
     """
     if min_user_interactions < 1 or min_item_interactions < 1:
         raise ValueError("minimum interaction counts must be >= 1")
     users, items = trace.unique_pairs()
-    # Filter items first (rare items carry noise), then users.
-    item_deg = np.bincount(items, minlength=trace.num_objects)
-    keep = item_deg[items] >= min_item_interactions
-    users, items = users[keep], items[keep]
-    user_deg = np.bincount(users, minlength=trace.num_users)
-    keep = user_deg[users] >= min_user_interactions
-    users, items = users[keep], items[keep]
-    return InteractionDataset(users, items, trace.num_users, trace.num_objects)
+    user_keep, item_keep = kcore_filter_masks(
+        lambda: iter([(users, items)]),
+        trace.num_users,
+        trace.num_objects,
+        min_user_interactions,
+        min_item_interactions,
+    )
+    alive = user_keep[users] & item_keep[items]
+    return InteractionDataset(users[alive], items[alive], trace.num_users, trace.num_objects)

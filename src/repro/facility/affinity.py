@@ -21,7 +21,7 @@ machinery — exactly the mechanism the paper hypothesizes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -178,19 +178,21 @@ class AffinityModel:
         perm = rng.permutation(num_objects)
         return weights[perm]
 
-    def user_mixtures(
+    def unique_user_mixtures(
         self, catalog: FacilityCatalog, population: UserPopulation, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Stack of per-user expected item distributions, shape (M, N).
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Deduplicated mixture rows plus the per-user row index.
 
-        ``rng`` draws the popularity permutation once, shared by every user
-        row.  Memory: M×N float64 — for the default scales (≤2k users × ≤2.5k
-        items) this is ≤40 MB, well worth it for fully vectorized trace
-        generation.
+        Users sharing (focus_site, focus_dtype) share a distribution; the
+        site determines the region, so each distinct combination is computed
+        once.  Returns ``(rows, inverse)`` with ``rows`` of shape (K, N) and
+        ``inverse`` of length M such that user ``u``'s distribution is
+        ``rows[inverse[u]]``.  K is bounded by sites×dtypes regardless of the
+        population size, which is what keeps million-user trace generation
+        out of the M×N memory regime.  ``rng`` draws the shared popularity
+        permutation (one draw, same as :meth:`user_mixtures`).
         """
         pop = self.popularity_weights(catalog.num_objects, rng)
-        # Users sharing (focus_site, focus_dtype) share a row; compute each
-        # distinct combination once.  (The site determines the region.)
         nd = catalog.num_data_types
         keys = population.user_focus_site * nd + population.user_focus_dtype
         uniq, inverse = np.unique(keys, return_inverse=True)
@@ -202,6 +204,20 @@ class AffinityModel:
             rows[k] = self.mixture_distribution(
                 catalog, int(site_region[site]), dtype, base_popularity=pop, focus_site=site
             )
+        return rows, inverse
+
+    def user_mixtures(
+        self, catalog: FacilityCatalog, population: UserPopulation, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Stack of per-user expected item distributions, shape (M, N).
+
+        ``rng`` draws the popularity permutation once, shared by every user
+        row.  Memory: M×N float64 — for the default scales (≤2k users × ≤2.5k
+        items) this is ≤40 MB, well worth it for fully vectorized trace
+        generation.  At larger M use :meth:`unique_user_mixtures`, which
+        returns the deduplicated rows without fanning them out.
+        """
+        rows, inverse = self.unique_user_mixtures(catalog, population, rng)
         return rows[inverse]
 
 

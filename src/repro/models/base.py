@@ -252,6 +252,7 @@ class Recommender:
         checkpoint_path: Optional[PathLike] = None,
         resume_from: Optional[PathLike] = None,
         logger: Optional[RunLogger] = None,
+        sampler: Optional[object] = None,
     ) -> FitResult:
         """Train with epoch-wise BPR minibatches and Adam.
 
@@ -280,6 +281,12 @@ class Recommender:
         logger:
             Optional :class:`~repro.utils.telemetry.RunLogger`; emits one
             JSONL event per epoch plus run/eval/checkpoint events.
+        sampler:
+            Optional replacement for the default
+            :class:`~repro.data.sampling.BPRSampler`; anything exposing
+            ``epoch_batches(batch_size, seed)`` yielding (users, pos, neg)
+            triples works (e.g. the shard-blocked sampler for
+            million-user training sets).
         """
         config = config or FitConfig()
         if train.num_users != self.num_users or train.num_items != self.num_items:
@@ -300,7 +307,11 @@ class Recommender:
         if checkpoint_every > 0 and checkpoint_path is None:
             raise ValueError("checkpoint_every > 0 requires checkpoint_path")
         rng = ensure_rng(config.seed)
-        sampler = BPRSampler(train)
+        # An injected sampler only needs epoch_batches(batch_size, seed) —
+        # e.g. data.ShardedBPRSampler, whose shard-local membership keys keep
+        # million-user training sets out of the global-key memory regime.
+        if sampler is None:
+            sampler = BPRSampler(train)
         params = self.parameters()
         keys = parameter_keys(params)
         optimizer = Adam(params, lr=config.lr)

@@ -28,9 +28,15 @@ __all__ = ["sharded_segment_sum", "sharded_propagation_step"]
 def _shard_partial(
     args,
 ) -> np.ndarray:
-    heads, tails, weights, embeddings, num_entities = args
+    heads, tails, weights, embeddings, num_entities, edge_chunk = args
     out = np.zeros((num_entities, embeddings.shape[1]), dtype=embeddings.dtype)
-    np.add.at(out, heads, weights[:, None] * embeddings[tails])
+    step = edge_chunk if edge_chunk is not None else max(len(heads), 1)
+    # np.add.at processes entries strictly in order, so chunking the edge
+    # walk changes only the size of the gathered (chunk, d) message buffer,
+    # never the accumulation order — results stay bit-identical.
+    for lo in range(0, len(heads), step):
+        sl = slice(lo, lo + step)
+        np.add.at(out, heads[sl], weights[sl, None] * embeddings[tails[sl]])
     return out
 
 
@@ -41,25 +47,31 @@ def sharded_segment_sum(
     embeddings: np.ndarray,
     partition: EdgePartition,
     executor: Optional[MapExecutor] = None,
+    edge_chunk: Optional[int] = None,
 ) -> np.ndarray:
     """Weighted neighbor sums computed shard-by-shard then combined.
 
     Equivalent to ``Σ_e w_e · emb[tail_e]`` grouped by head — the inner
     reduction of CKAT Eq. 3 — but with each shard contributing a partial
-    (num_entities, d) buffer that is summed at the end.
+    (num_entities, d) buffer that is summed at the end.  ``edge_chunk``
+    bounds each shard's gathered-message scratch to (edge_chunk, d) — at
+    streamed-graph edge counts the unchunked gather is the largest transient
+    of the whole propagation step.
     """
     if not (len(heads) == len(tails) == len(weights)):
         raise ValueError("heads, tails and weights must have equal length")
+    if edge_chunk is not None and edge_chunk <= 0:
+        raise ValueError(f"edge_chunk must be positive, got {edge_chunk}")
     executor = executor or SerialExecutor()
     num_entities = embeddings.shape[0]
     tasks = []
     for shard in range(partition.num_shards):
         idx = partition.edge_indices(shard)
-        tasks.append((heads[idx], tails[idx], weights[idx], embeddings, num_entities))
+        tasks.append((heads[idx], tails[idx], weights[idx], embeddings, num_entities, edge_chunk))
     partials: List[np.ndarray] = executor.map(_shard_partial, tasks)
     total = partials[0]
     for p in partials[1:]:
-        total = total + p
+        total += p
     return total
 
 

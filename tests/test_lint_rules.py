@@ -257,6 +257,26 @@ class TestAdHocPersistence:
         src = "import numpy as np\nnp.save(path, arr)\nnp.load(path, mmap_mode='r')\n"
         assert codes(src, path="src/repro/store/artifacts.py") == []
 
+    def test_memmap_family_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.memmap(path, dtype=np.int64, mode='r')\n"
+            "raw = np.fromfile(path, dtype=np.int64)\n"
+        )
+        assert codes(src, path=NEUTRAL_PATH) == ["RPL009", "RPL009"]
+
+    def test_open_memmap_flagged(self):
+        src = "import numpy as np\narr = np.lib.format.open_memmap(path, mode='r')\n"
+        assert codes(src, path=NEUTRAL_PATH) == ["RPL009"]
+
+    def test_memmap_family_allowed_in_funnel(self):
+        src = (
+            "import numpy as np\n"
+            "buf = np.memmap(path, dtype=np.int64, mode='r')\n"
+            "arr = np.lib.format.open_memmap(path, mode='r')\n"
+        )
+        assert codes(src, path="src/repro/store/artifacts.py") == []
+
     def test_exempt_path_skips_rule(self):
         src = "import numpy as np\nnp.load(path)\n"
         assert codes(src, path="tests/test_mod.py", config=DEFAULT_CONFIG) == []
