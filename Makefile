@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify lint reprolint graphlint lint-changed typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke scale-smoke
+.PHONY: verify lint reprolint graphlint lint-changed typecheck smoke test sanitize-smoke sparse-smoke store-smoke kernels-smoke serving-smoke scale-smoke train-parallel-smoke
 
-verify: lint graphlint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke scale-smoke
+verify: lint graphlint typecheck smoke sparse-smoke store-smoke kernels-smoke serving-smoke scale-smoke train-parallel-smoke
 
 lint: reprolint
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -71,6 +71,13 @@ serving-smoke:
 # lives in benchmarks/test_bench_scale.py at full scale).
 scale-smoke:
 	$(PYTHON) -m pytest -q benchmarks/test_bench_scale.py -k "smoke"
+
+# Data-parallel training gate on any core count: fork-vs-inline loss
+# identity plus distributed-vs-serial gradient agreement, emitting
+# BENCH_parallel.json (the 2x epoch speedup gate needs >= 4 cores;
+# benchmarks/test_bench_parallel.py covers it).
+train-parallel-smoke:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_parallel.py -k "not speedup"
 
 sanitize-smoke:
 	REPRO_SANITIZE=1 $(PYTHON) -m repro.cli sanitize-run BPRMF ooi --epochs 2

@@ -61,6 +61,12 @@ class LintConfig:
     :mod:`repro.io` checkpoints or :mod:`repro.store` artifacts, which own
     atomic writes, ``allow_pickle=False`` and verification."""
 
+    optimizer_funnel_paths: Tuple[str, ...] = ("models/",)
+    """Model code, where RPL015 forbids constructing or driving optimizers:
+    parameter updates flow through the :mod:`repro.train` engine/executors
+    (which own step scheduling, sharded reconciliation and checkpointed
+    optimizer state); auxiliary phases use the engine's step callable."""
+
     kernel_consumer_paths: Tuple[str, ...] = ("models/", "eval/", "serving/")
     """Paths consuming the fused kernels, where RPL010 requires every
     ``repro.kernels`` import to name ``dispatch`` — backend selection, the
@@ -120,6 +126,10 @@ class LintContext:
     @property
     def in_kernel_consumer_path(self) -> bool:
         return _matches(self.path, self.config.kernel_consumer_paths)
+
+    @property
+    def in_optimizer_funnel_path(self) -> bool:
+        return _matches(self.path, self.config.optimizer_funnel_paths)
 
     # -------------------------------------------------------------- lexical
     @property

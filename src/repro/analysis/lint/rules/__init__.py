@@ -9,6 +9,7 @@ from repro.analysis.lint.rules import (  # noqa: F401  (import for registration)
     defaults,
     dtypes,
     kernel_imports,
+    optimizer_funnel,
     persistence,
     randomness,
     scatter,

@@ -40,6 +40,8 @@ __all__ = [
     "TrainingCheckpoint",
     "save_training_checkpoint",
     "load_training_checkpoint",
+    "executor_fingerprint",
+    "check_executor_compatible",
 ]
 
 PathLike = Union[str, pathlib.Path]
@@ -111,6 +113,41 @@ def load_parameters(path: PathLike, model) -> None:
                         f"{path}: shape mismatch for {key}: file {arr.shape} vs model {p.data.shape}"
                     )
                 p.data[...] = arr
+
+
+_SERIAL_EXECUTOR_FINGERPRINT = {"kind": "serial"}
+
+
+def executor_fingerprint(config: dict) -> dict:
+    """The executor/shard layout recorded in a checkpoint's config dict.
+
+    Checkpoints written before the training-engine refactor carry no
+    ``executor`` entry; they all came from the serial in-process loop, so
+    the absent key reads back as the serial fingerprint.
+    """
+    fp = config.get("executor")
+    return dict(fp) if fp else dict(_SERIAL_EXECUTOR_FINGERPRINT)
+
+
+def check_executor_compatible(saved_config: dict, current: Optional[dict]) -> None:
+    """Fail loudly when a checkpoint's executor layout differs from the run's.
+
+    Optimizer slots — and, for sharded runs, the worker-resident lazy-Adam
+    ``row_steps`` — only load into the executor layout that produced them.
+    A serial checkpoint resumed under ``--workers N`` (or a sharded one
+    resumed serially, or under a different worker count / shard size) would
+    silently reshape that state into the wrong owners; this check turns the
+    silent corruption into an actionable error.
+    """
+    saved = executor_fingerprint(saved_config)
+    now = dict(current) if current else dict(_SERIAL_EXECUTOR_FINGERPRINT)
+    if saved != now:
+        raise ValueError(
+            f"cannot resume: checkpoint was written by executor {saved} but this run "
+            f"uses {now}; optimizer slots and worker shard state only load into the "
+            "layout that produced them — resume with the matching executor settings "
+            "(same --workers and shard size) or start a fresh run"
+        )
 
 
 # ------------------------------------------------------------ training state

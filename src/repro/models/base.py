@@ -1,4 +1,4 @@
-"""Shared model interface and the BPR training loop.
+"""Shared model interface over the :mod:`repro.train` engine.
 
 Every model implements three hooks:
 
@@ -7,33 +7,31 @@ Every model implements three hooks:
   minibatch of (user, positive item, negative item) triples;
 - ``score_users(users)`` — dense float scores (B × num_items) for ranking.
 
-:meth:`Recommender.fit` then drives the paper's optimization recipe: Adam,
-batch size 512, epoch-wise BPR batches with fresh negative sampling.  Models
-with auxiliary objectives (TransR/TransE phases in CKE, CFKG, CKAT) override
-``extra_epoch_step`` to run their alternating phase once per epoch, mirroring
-the KGAT training schedule.
+:meth:`Recommender.fit` drives the paper's optimization recipe — Adam, batch
+size 512, epoch-wise BPR batches with fresh negative sampling — by
+delegating to :class:`repro.train.TrainEngine`; the default
+:class:`~repro.train.SerialExecutor` reproduces the historical in-process
+loop bit-for-bit, and ``executor=ShardedExecutor(...)`` trains the same
+model data-parallel.  Models with auxiliary objectives (TransR/TransE phases
+in CKE, CFKG, CKAT) override ``extra_epoch_step`` to run their alternating
+phase once per epoch through the engine-provided step callable — model code
+never touches the optimizer directly (reprolint RPL015).
+
+``FitConfig``/``FitResult`` live in :mod:`repro.train.engine` and are
+re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import pathlib
-import time
 from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd import Adam, Parameter, Tensor, no_grad
+from repro.autograd import Parameter, Tensor
 from repro.autograd import functional as F
 from repro.data.interactions import InteractionDataset
-from repro.data.sampling import BPRSampler
-from repro.io.checkpoints import (
-    TrainingCheckpoint,
-    load_training_checkpoint,
-    parameter_keys,
-    save_training_checkpoint,
-)
-from repro.utils.rng import ensure_rng
+from repro.train.engine import FitConfig, FitResult, StepExecutor, StepFn, TrainEngine
 from repro.utils.telemetry import RunLogger
 
 __all__ = ["FitConfig", "FitResult", "Recommender", "batch_l2"]
@@ -52,67 +50,6 @@ def batch_l2(*tensors: Tensor) -> Tensor:
     for t in tensors[1:]:
         total = F.add(total, F.squared_norm(t))
     return total
-
-
-@dataclasses.dataclass
-class FitConfig:
-    """Training hyperparameters (defaults follow Section VI-D)."""
-
-    epochs: int = 40
-    batch_size: int = 512
-    lr: float = 0.01
-    l2: float = 1e-5
-    seed: int = 0
-    verbose: bool = False
-    eval_every: int = 0
-    """If >0 and an evaluator callback is given to fit(), evaluate every
-    this many epochs."""
-    keep_best_metric: str = ""
-    """When set (e.g. ``"recall@20"``) together with ``eval_every`` and an
-    eval callback, parameters are snapshotted at each evaluation and the
-    best-scoring snapshot is restored after the final epoch — the best-epoch
-    selection protocol of the KGAT-family reference implementations."""
-
-    def __post_init__(self):
-        if self.epochs <= 0 or self.batch_size <= 0:
-            raise ValueError("epochs and batch_size must be positive")
-        if self.lr <= 0:
-            raise ValueError("lr must be positive")
-        if self.l2 < 0:
-            raise ValueError("l2 must be nonnegative")
-        if self.eval_every < 0:
-            raise ValueError(f"eval_every must be >= 0, got {self.eval_every}")
-        if self.keep_best_metric and self.eval_every <= 0:
-            raise ValueError(
-                "keep_best_metric requires eval_every > 0 — without evaluations no "
-                "snapshot is ever taken, silently corrupting best-epoch results"
-            )
-
-    def fingerprint(self) -> dict:
-        """The fields a resumed run must match for bit-identical replay."""
-        return {
-            "epochs": self.epochs,
-            "batch_size": self.batch_size,
-            "lr": self.lr,
-            "l2": self.l2,
-            "seed": self.seed,
-            "eval_every": self.eval_every,
-            "keep_best_metric": self.keep_best_metric,
-        }
-
-
-@dataclasses.dataclass
-class FitResult:
-    """Training record: per-epoch losses and wall-clock time."""
-
-    losses: List[float]
-    extra_losses: List[float]
-    seconds: float
-    eval_history: List[dict]
-
-    @property
-    def final_loss(self) -> float:
-        return self.losses[-1] if self.losses else float("nan")
 
 
 class Recommender:
@@ -155,11 +92,17 @@ class Recommender:
         return None
 
     def extra_epoch_step(
-        self, optimizer: Adam, rng: np.random.Generator, config: FitConfig
+        self, step: StepFn, rng: np.random.Generator, config: FitConfig
     ) -> float:
         """Auxiliary per-epoch training phase (e.g. TransR); returns its loss.
 
-        Default: nothing to do.
+        ``step`` is the engine-provided optimization funnel:
+        ``step(loss_fn)`` zero-grads, evaluates ``loss_fn()``,
+        backpropagates, applies the optimizer, and returns the loss value.
+        Models run their alternating phase through it instead of holding the
+        optimizer (reprolint RPL015) — which is what lets executors schedule
+        the phase (the sharded executor runs it on the master between
+        epochs).  Default: nothing to do.
         """
         return 0.0
 
@@ -190,58 +133,20 @@ class Recommender:
             "but the checkpoint carries extra RNG state"
         )
 
-    # ------------------------------------------------------------- training
-    def _restore_checkpoint(
-        self,
-        ckpt: TrainingCheckpoint,
-        config: FitConfig,
-        params: List[Parameter],
-        keys: List[str],
-        optimizer: Adam,
-        rng: np.random.Generator,
-    ) -> None:
-        """Load a :class:`TrainingCheckpoint` into live training state.
+    def row_partitioned_parameters(self) -> List[Parameter]:
+        """Parameters whose rows partition along the sampler's user shards.
 
-        Validates that the checkpoint matches both the architecture (same
-        parameter keys and shapes) and the replay-relevant config fields —
-        resuming under a different batch size, learning rate, or seed could
-        not possibly reproduce the uninterrupted run, so it raises instead.
+        The sharded executor applies these locally on the worker that owns
+        the rows (no cross-worker reduction).  A parameter belongs here only
+        if a (user, pos, neg) batch drawn from user shard ``[lo, hi)``
+        gathers *exclusively* rows ``[lo, hi)`` of it — true for per-user
+        embedding tables indexed by the batch's users, false for anything a
+        negative sample or graph propagation can touch.  Default: none (all
+        parameters reduce as shared).
         """
-        fp = config.fingerprint()
-        saved = ckpt.config
-        mismatched = {
-            k: (saved.get(k), fp[k]) for k in fp if k != "epochs" and saved.get(k) != fp[k]
-        }
-        if mismatched:
-            raise ValueError(
-                f"cannot resume: config mismatch {mismatched} (checkpoint vs current); "
-                "resume-exactness requires identical training configuration"
-            )
-        if config.epochs < ckpt.epoch:
-            raise ValueError(
-                f"cannot resume: checkpoint has {ckpt.epoch} completed epochs but the "
-                f"config only trains {config.epochs}"
-            )
-        if set(ckpt.params) != set(keys):
-            raise ValueError(
-                f"cannot resume: parameter set mismatch (checkpoint {sorted(ckpt.params)}, "
-                f"model {sorted(keys)})"
-            )
-        with no_grad():
-            for key, p in zip(keys, params):
-                arr = ckpt.params[key]
-                if arr.shape != p.data.shape:
-                    raise ValueError(
-                        f"cannot resume: shape mismatch for {key}: "
-                        f"checkpoint {arr.shape} vs model {p.data.shape}"
-                    )
-                p.data[...] = arr
-        optimizer.load_state_dict(ckpt.optimizer_state)
-        rng.bit_generator.state = ckpt.rng_state
-        if ckpt.extra_rng_state is not None:
-            self.restore_extra_rng_state(ckpt.extra_rng_state)
-        self.on_epoch_end()  # rebuild derived state (e.g. CKAT attention) from params
+        return []
 
+    # ------------------------------------------------------------- training
     def fit(
         self,
         train: InteractionDataset,
@@ -253,8 +158,12 @@ class Recommender:
         resume_from: Optional[PathLike] = None,
         logger: Optional[RunLogger] = None,
         sampler: Optional[object] = None,
+        executor: Optional[StepExecutor] = None,
     ) -> FitResult:
         """Train with epoch-wise BPR minibatches and Adam.
+
+        Thin wrapper over :class:`repro.train.TrainEngine`; with the default
+        executor this is bit-identical to the historical in-process loop.
 
         Parameters
         ----------
@@ -274,163 +183,35 @@ class Recommender:
             time); required when ``checkpoint_every > 0``.
         resume_from:
             Resume a killed run from this checkpoint.  The restored run is
-            **bit-identical** to the uninterrupted one: all training
-            randomness flows through the single generator whose state the
-            checkpoint captured, so replaying epochs ``[epoch, epochs)`` on
-            the restored parameters/moments reproduces the exact arrays.
+            **bit-identical** to the uninterrupted one (same executor
+            required — the checkpoint records the executor/shard layout and
+            refuses to load into a different one): all training randomness
+            flows through generators whose states the checkpoint captured.
         logger:
             Optional :class:`~repro.utils.telemetry.RunLogger`; emits one
-            JSONL event per epoch plus run/eval/checkpoint events.
+            JSONL event per epoch plus run/eval/checkpoint events (and
+            merged per-worker events under data-parallel executors).
         sampler:
-            Optional replacement for the default
-            :class:`~repro.data.sampling.BPRSampler`; anything exposing
-            ``epoch_batches(batch_size, seed)`` yielding (users, pos, neg)
-            triples works (e.g. the shard-blocked sampler for
-            million-user training sets).
+            Optional replacement for the executor's default sampler;
+            anything exposing ``epoch_batches(batch_size, seed)`` yielding
+            (users, pos, neg) triples works serially, while the sharded
+            executor additionally needs the shard-batch interface of
+            :class:`~repro.data.sampling.ShardedBPRSampler`.
+        executor:
+            Optional :class:`~repro.train.StepExecutor`; default
+            :class:`~repro.train.SerialExecutor` (the historical loop).
+            Pass :class:`~repro.train.ShardedExecutor` for data-parallel
+            training over partitioned embedding tables.
         """
-        config = config or FitConfig()
-        if train.num_users != self.num_users or train.num_items != self.num_items:
-            raise ValueError(
-                f"dataset shape ({train.num_users}×{train.num_items}) does not match model "
-                f"({self.num_users}×{self.num_items})"
-            )
-        if config.eval_every < 0:
-            raise ValueError(f"eval_every must be >= 0, got {config.eval_every}")
-        if config.keep_best_metric and (config.eval_every <= 0 or eval_callback is None):
-            raise ValueError(
-                "keep_best_metric requires eval_every > 0 and an eval_callback — "
-                "without both no snapshot is ever taken, silently corrupting "
-                "best-epoch results"
-            )
-        if checkpoint_every < 0:
-            raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
-        if checkpoint_every > 0 and checkpoint_path is None:
-            raise ValueError("checkpoint_every > 0 requires checkpoint_path")
-        rng = ensure_rng(config.seed)
-        # An injected sampler only needs epoch_batches(batch_size, seed) —
-        # e.g. data.ShardedBPRSampler, whose shard-local membership keys keep
-        # million-user training sets out of the global-key memory regime.
-        if sampler is None:
-            sampler = BPRSampler(train)
-        params = self.parameters()
-        keys = parameter_keys(params)
-        optimizer = Adam(params, lr=config.lr)
-        losses: List[float] = []
-        extra_losses: List[float] = []
-        eval_history: List[dict] = []
-        best_score = -np.inf
-        best_snapshot: Optional[List[np.ndarray]] = None
-        start_epoch = 0
-        base_seconds = 0.0
-        if resume_from is not None:
-            ckpt = load_training_checkpoint(resume_from)
-            self._restore_checkpoint(ckpt, config, params, keys, optimizer, rng)
-            losses = list(ckpt.losses)
-            extra_losses = list(ckpt.extra_losses)
-            eval_history = list(ckpt.eval_history)
-            best_score = ckpt.best_score
-            if ckpt.best_snapshot is not None:
-                best_snapshot = [ckpt.best_snapshot[key].copy() for key in keys]
-            start_epoch = ckpt.epoch
-            base_seconds = ckpt.seconds
-            if logger is not None:
-                logger.log("resume", epoch=start_epoch, path=str(resume_from))
-        start = time.perf_counter()
-        if logger is not None:
-            logger.log(
-                "run_start",
-                model=self.name,
-                start_epoch=start_epoch,
-                **config.fingerprint(),
-            )
-        for epoch in range(start_epoch, config.epochs):
-            epoch_start = time.perf_counter()
-            extra = self.extra_epoch_step(optimizer, rng, config)
-            extra_losses.append(extra)
-            epoch_loss, n_batches = 0.0, 0
-            for users, pos, neg in sampler.epoch_batches(config.batch_size, seed=rng):
-                optimizer.zero_grad()
-                loss = self.batch_loss(users, pos, neg, rng)
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
-                n_batches += 1
-            losses.append(epoch_loss / max(n_batches, 1))
-            self.on_epoch_end()
-            if logger is not None:
-                logger.log(
-                    "epoch",
-                    epoch=epoch + 1,
-                    loss=losses[-1],
-                    aux_loss=extra,
-                    seconds=time.perf_counter() - epoch_start,
-                )
-            if config.verbose:
-                msg = f"[{self.name}] epoch {epoch + 1}/{config.epochs} loss={losses[-1]:.4f}"
-                if extra:
-                    msg += f" aux={extra:.4f}"
-                print(msg)
-            if eval_callback is not None and config.eval_every and (epoch + 1) % config.eval_every == 0:
-                metrics = eval_callback()
-                metrics["epoch"] = epoch + 1
-                eval_history.append(metrics)
-                if logger is not None:
-                    logger.log("eval", **metrics)
-                if config.verbose:
-                    print(f"[{self.name}]   eval: {metrics}")
-                if config.keep_best_metric:
-                    score = metrics.get(config.keep_best_metric)
-                    if score is None:
-                        raise KeyError(
-                            f"keep_best_metric {config.keep_best_metric!r} missing from "
-                            f"eval callback result {sorted(metrics)}"
-                        )
-                    if score > best_score:
-                        best_score = score
-                        best_snapshot = [p.data.copy() for p in params]
-                        if logger is not None:
-                            logger.log("best_snapshot", epoch=epoch + 1, score=float(score))
-            if checkpoint_every and (epoch + 1) % checkpoint_every == 0:
-                ckpt = TrainingCheckpoint(
-                    epoch=epoch + 1,
-                    params={key: p.data.copy() for key, p in zip(keys, params)},
-                    optimizer_state=optimizer.state_dict(),
-                    rng_state=rng.bit_generator.state,
-                    extra_rng_state=self.extra_rng_state(),
-                    losses=list(losses),
-                    extra_losses=list(extra_losses),
-                    eval_history=list(eval_history),
-                    best_score=float(best_score),
-                    best_snapshot=(
-                        {key: arr.copy() for key, arr in zip(keys, best_snapshot)}
-                        if best_snapshot is not None
-                        else None
-                    ),
-                    seconds=base_seconds + (time.perf_counter() - start),
-                    config=config.fingerprint(),
-                )
-                written = save_training_checkpoint(checkpoint_path, ckpt)
-                if logger is not None:
-                    logger.log("checkpoint", epoch=epoch + 1, path=str(written))
-        if best_snapshot is not None:
-            with no_grad():
-                for p, data in zip(params, best_snapshot):
-                    p.data[...] = data
-            self.on_epoch_end()  # refresh derived state (e.g. CKAT attention)
-        seconds = base_seconds + (time.perf_counter() - start)
-        if logger is not None:
-            logger.log(
-                "run_end",
-                model=self.name,
-                epochs=config.epochs,
-                seconds=seconds,
-                final_loss=losses[-1] if losses else None,
-            )
-        return FitResult(
-            losses=losses,
-            extra_losses=extra_losses,
-            seconds=seconds,
-            eval_history=eval_history,
+        return TrainEngine(self, executor=executor).fit(
+            train,
+            config,
+            eval_callback,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+            logger=logger,
+            sampler=sampler,
         )
 
     # ------------------------------------------------------------ inference

@@ -17,13 +17,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.autograd import Adam, Parameter, Tensor
+from repro.autograd import Parameter, Tensor
 from repro.autograd import functional as F
 from repro.kg.ckg import CollaborativeKnowledgeGraph
 from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import INTERACT
 from repro.models.base import FitConfig, Recommender, batch_l2
 from repro.models.embeddings import TransE
+from repro.train.engine import StepFn
 from repro.utils.rng import ensure_rng
 
 __all__ = ["CFKG"]
@@ -94,7 +95,7 @@ class CFKG(Recommender):
         return F.add(loss, reg)
 
     def extra_epoch_step(
-        self, optimizer: Adam, rng: np.random.Generator, config: FitConfig
+        self, step: StepFn, rng: np.random.Generator, config: FitConfig
     ) -> float:
         """TransE margin phase over the full CKG (knowledge + interact)."""
         store = self.ckg.store
@@ -103,13 +104,11 @@ class CFKG(Recommender):
         total = 0.0
         for _ in range(self.kg_steps_per_epoch):
             idx = rng.integers(0, len(store), size=self.kg_batch_size)
-            optimizer.zero_grad()
-            loss = self.transe.margin_loss(
-                store.heads[idx], store.rels[idx], store.tails[idx], rng
+            total += step(
+                lambda: self.transe.margin_loss(
+                    store.heads[idx], store.rels[idx], store.tails[idx], rng
+                )
             )
-            loss.backward()
-            optimizer.step()
-            total += loss.item()
         return total / self.kg_steps_per_epoch
 
     def score_users(self, users: np.ndarray) -> np.ndarray:

@@ -28,7 +28,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd import Adam, Parameter, Tensor, no_grad
+from repro.autograd import Parameter, Tensor, no_grad
 from repro.autograd import functional as F
 from repro.kg.adjacency import CSRAdjacency
 from repro.kg.ckg import CollaborativeKnowledgeGraph
@@ -41,6 +41,7 @@ from repro.models.ckat.layers import (
     uniform_edge_weights,
 )
 from repro.models.embeddings import TransR
+from repro.train.engine import StepFn
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_choices
 
@@ -224,7 +225,7 @@ class CKAT(Recommender):
         return F.add(loss, reg)
 
     def extra_epoch_step(
-        self, optimizer: Adam, rng: np.random.Generator, config: FitConfig
+        self, step: StepFn, rng: np.random.Generator, config: FitConfig
     ) -> float:
         """The L1 (TransR) phase: margin loss over CKG triples (Eq. 2)."""
         store = self.ckg.propagation_store
@@ -233,11 +234,7 @@ class CKAT(Recommender):
         total = 0.0
         for _ in range(self.config.kg_steps_per_epoch):
             h, r, t = self.transr.sample_triples(store, self.config.kg_batch_size, rng)
-            optimizer.zero_grad()
-            loss = self.transr.margin_loss(h, r, t, rng)
-            loss.backward()
-            optimizer.step()
-            total += loss.item()
+            total += step(lambda: self.transr.margin_loss(h, r, t, rng))
         return total / self.config.kg_steps_per_epoch
 
     # ------------------------------------------------------------- inference

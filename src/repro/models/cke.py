@@ -18,13 +18,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.autograd import Adam, Parameter, Tensor, xavier_uniform
+from repro.autograd import Parameter, Tensor, xavier_uniform
 from repro.autograd import functional as F
 from repro.kg.ckg import CollaborativeKnowledgeGraph
 from repro.kg.prepared import PreparedGraph
 from repro.kg.subgraphs import INTERACT
 from repro.models.base import FitConfig, Recommender, batch_l2
 from repro.models.embeddings import TransR
+from repro.train.engine import StepFn
 from repro.utils.rng import ensure_rng
 
 __all__ = ["CKE"]
@@ -79,6 +80,11 @@ class CKE(Recommender):
     def parameters(self) -> List[Parameter]:
         return [self.user_emb, self.item_emb] + self.transr.parameters()
 
+    def row_partitioned_parameters(self) -> List[Parameter]:
+        # Only user_emb is gathered strictly at the batch's users; item and
+        # TransR tables are touched by negatives/triples and stay shared.
+        return [self.user_emb]
+
     def _item_repr(self, items: np.ndarray) -> Tensor:
         """γ_v + e_v^TransR for a batch of item indices."""
         base = F.take_rows(self.item_emb, items)
@@ -96,7 +102,7 @@ class CKE(Recommender):
         return F.add(loss, reg)
 
     def extra_epoch_step(
-        self, optimizer: Adam, rng: np.random.Generator, config: FitConfig
+        self, step: StepFn, rng: np.random.Generator, config: FitConfig
     ) -> float:
         """One TransR phase per epoch over the knowledge triples."""
         if len(self.kg_store) == 0:
@@ -104,11 +110,7 @@ class CKE(Recommender):
         total = 0.0
         for _ in range(self.kg_steps_per_epoch):
             h, r, t = self.transr.sample_triples(self.kg_store, self.kg_batch_size, rng)
-            optimizer.zero_grad()
-            loss = self.transr.margin_loss(h, r, t, rng)
-            loss.backward()
-            optimizer.step()
-            total += loss.item()
+            total += step(lambda: self.transr.margin_loss(h, r, t, rng))
         return total / self.kg_steps_per_epoch
 
     def score_users(self, users: np.ndarray) -> np.ndarray:

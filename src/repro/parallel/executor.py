@@ -70,6 +70,22 @@ class ProcessExecutor(MapExecutor):
     degrades a sharded run to partially-serial instead of aborting it.
     Only if the in-process attempt also fails does the exception propagate.
     ``failure_count`` tallies worker-side failures observed so far.
+
+    **Retry audit — idempotency required.**  The recovery path *re-executes*
+    the failed item: ``fn`` may run up to three times (first attempt, one
+    worker retry, in-process fallback), and a worker killed mid-item may
+    already have performed part of the item's side effects.  That is safe
+    for every current caller — sharded evaluation and dataset builders map
+    pure functions whose results are only consumed from the returned list —
+    but it is exactly the wrong policy for applying gradient batches, where
+    re-execution means double-applying an update.  This is why
+    :class:`repro.train.sharded.ShardedExecutor` does **not** run its
+    workers through this pool: training workers are stateful (parameter
+    slices, per-shard optimizer state, batch streams), and its failure
+    policy is the opposite — abort the epoch *without* applying the
+    in-flight round, forcing resume from the last checkpoint (locked by the
+    crash regression tests in ``tests/test_train_sharded.py``).  Do not
+    route non-idempotent work through :meth:`map`.
     """
 
     def __init__(self, max_workers: Optional[int] = None):

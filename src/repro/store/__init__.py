@@ -19,10 +19,12 @@ from repro.store.artifacts import (
     fingerprint,
     resolve_cache_dir,
 )
+from repro.store.segments import SegmentArena
 
 __all__ = [
     "Artifact",
     "ArtifactStore",
+    "SegmentArena",
     "canonical_json",
     "fingerprint",
     "resolve_cache_dir",

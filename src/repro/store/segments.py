@@ -1,0 +1,131 @@
+"""mmap'd shared-memory array segments for cross-process training.
+
+The data-parallel training engine (:mod:`repro.train`) shares parameter
+tables and per-worker gradient slabs between the master process and its
+fork-spawned workers.  Every shared array lives in one :class:`SegmentArena`
+— a directory of plain ``.npy`` files opened with
+``numpy.lib.format.open_memmap`` in shared (``MAP_SHARED``) mode, so a write
+by any process is immediately visible to every other process mapping the
+same file.
+
+This module is part of the sanctioned persistence funnel (reprolint RPL009):
+raw-numpy memmap traffic for training segments happens here and nowhere
+else.  The arena owns the lifetime of its directory — segments are scratch
+state for one training run, not artifacts, so ``cleanup()`` removes them
+(checkpoints of the *values* go through :mod:`repro.io.checkpoints` as
+usual).
+
+Fork discipline: create every segment **before** forking workers.  Children
+inherit the parent's open memory mappings, so no path exchange or reopening
+is needed; processes coordinate *when* to read and write through the
+training engine's round barriers, not through this module.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["SegmentArena"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _segment_path(root: pathlib.Path, name: str) -> pathlib.Path:
+    """Validate a segment name and return its ``.npy`` path under ``root``.
+
+    Names become file names, so path separators (or ``..``) would silently
+    escape the arena directory — reject them loudly instead.
+    """
+    if not name or "/" in name or "\\" in name or name.startswith(".") or ".." in name:
+        raise ValueError(f"invalid segment name {name!r}")
+    return root / f"{name}.npy"
+
+
+class SegmentArena:
+    """A directory of shared-memory ``.npy`` segments.
+
+    Parameters
+    ----------
+    root:
+        Directory to hold the segment files.  ``None`` creates a private
+        temporary directory that :meth:`cleanup` (or context exit) removes;
+        an explicit root is left in place on cleanup, only the segment
+        files themselves are deleted.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self._owns_root = root is None
+        if root is None:
+            self.root = pathlib.Path(tempfile.mkdtemp(prefix="repro-segments-"))
+        else:
+            self.root = pathlib.Path(root)
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._segments: Dict[str, np.memmap] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------- creation
+    def create(self, name: str, array: np.ndarray) -> np.memmap:
+        """Create a segment initialized with a copy of ``array``.
+
+        Returns the writable shared mapping; the caller typically rebinds a
+        :class:`~repro.autograd.tensor.Parameter`'s ``.data`` to it so every
+        optimizer update lands in shared memory.
+        """
+        array = np.asarray(array)
+        seg = self.create_empty(name, array.shape, array.dtype)
+        seg[...] = array
+        return seg
+
+    def create_empty(self, name: str, shape: Tuple[int, ...], dtype) -> np.memmap:
+        """Create a zero-filled segment of the given shape and dtype."""
+        if self._closed:
+            raise ValueError("SegmentArena is closed")
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already exists")
+        path = _segment_path(self.root, name)
+        seg = np.lib.format.open_memmap(path, mode="w+", dtype=np.dtype(dtype), shape=tuple(shape))
+        self._segments[name] = seg
+        return seg
+
+    def get(self, name: str) -> np.memmap:
+        """Return an existing segment's mapping."""
+        return self._segments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    # -------------------------------------------------------------- teardown
+    def cleanup(self) -> None:
+        """Release mappings and delete the segment files (idempotent).
+
+        Only the creating process should call this; forked workers exit and
+        let the OS drop their inherited mappings.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            mm = getattr(seg, "_mmap", None)
+            if mm is not None:
+                mm.close()
+        self._segments.clear()
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+        else:
+            for path in self.root.glob("*.npy"):
+                path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "SegmentArena":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.cleanup()
+        return False

@@ -1,0 +1,170 @@
+"""Standalone KG training objectives for the engine.
+
+The engine is model-agnostic: anything exposing the ``Recommender`` training
+hooks trains under any executor.  :class:`TransRObjective` wraps the
+:class:`~repro.models.embeddings.TransR` module in exactly those hooks so
+the knowledge-graph loss trains as a first-class objective — serially or
+data-parallel — instead of only as CKE/CKAT's auxiliary phase, and
+:class:`TripleShardSampler` gives it a shard-addressable batch source over
+a fixed triple array (the analogue of
+:class:`~repro.data.sampling.ShardedBPRSampler` for triples).
+
+Sharding note: TransR's entity table is *not* row-partitionable — a triple
+touches its head, its tail, and a uniformly corrupted entity, so every
+shard's gradient can land anywhere in the table.  All three TransR tables
+therefore train as shared parameters under the two-level sparse reduction;
+``row_partitioned_parameters`` is empty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd import Parameter, Tensor
+from repro.models.embeddings import TransR
+
+__all__ = ["TransRObjective", "TripleShardSampler"]
+
+
+class TripleShardSampler:
+    """Shard-addressable epoch batches over fixed (head, rel, tail) arrays.
+
+    Triples are split into contiguous shards of ``rows_per_shard``; each
+    shard's epoch contribution is a fresh permutation of its own triples.
+    Exposes the executor's shard-batch interface (``num_shards``,
+    ``shard_num_batches``, ``shard_epoch_batches``) plus the serial
+    ``epoch_batches`` so the same sampler drives both executors.
+    """
+
+    def __init__(
+        self,
+        heads: np.ndarray,
+        rels: np.ndarray,
+        tails: np.ndarray,
+        rows_per_shard: int = 8192,
+    ):
+        heads = np.asarray(heads, dtype=np.int64)
+        rels = np.asarray(rels, dtype=np.int64)
+        tails = np.asarray(tails, dtype=np.int64)
+        if not (heads.shape == rels.shape == tails.shape) or heads.ndim != 1:
+            raise ValueError(
+                f"heads/rels/tails must be equal-length 1-D arrays, got shapes "
+                f"{heads.shape}/{rels.shape}/{tails.shape}"
+            )
+        if heads.size == 0:
+            raise ValueError("cannot sample from an empty triple set")
+        if rows_per_shard <= 0:
+            raise ValueError(f"rows_per_shard must be positive, got {rows_per_shard}")
+        self.heads = heads
+        self.rels = rels
+        self.tails = tails
+        self.rows_per_shard = int(rows_per_shard)
+        self.num_shards = -(-heads.size // self.rows_per_shard)
+
+    def __len__(self) -> int:
+        return int(self.heads.size)
+
+    def shard_records(self, shard: int) -> Tuple[int, int]:
+        """The triple index range ``[lo, hi)`` of one shard."""
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(f"shard {shard} out of range [0, {self.num_shards})")
+        lo = shard * self.rows_per_shard
+        return lo, min(lo + self.rows_per_shard, self.heads.size)
+
+    def shard_num_batches(self, shard: int, batch_size: int) -> int:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        lo, hi = self.shard_records(shard)
+        return -(-(hi - lo) // batch_size)
+
+    def shard_epoch_batches(
+        self, shard: int, batch_size: int, rng: np.random.Generator
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """One shard's epoch batches, drawing only from ``rng``.
+
+        Deterministic in (shard, rng) — the worker-count invariance the
+        sharded executor's batch schedule relies on.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        lo, hi = self.shard_records(shard)
+        if hi == lo:
+            return
+        order = rng.permutation(hi - lo) + lo
+        for start in range(0, len(order), batch_size):
+            pick = order[start : start + batch_size]
+            yield self.heads[pick], self.rels[pick], self.tails[pick]
+
+    def epoch_batches(
+        self, batch_size: int, seed=0
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Serial epoch: every shard's batches in ascending shard order."""
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        for shard in range(self.num_shards):
+            yield from self.shard_epoch_batches(shard, batch_size, rng)
+
+
+class TransRObjective:
+    """TransR margin loss as an engine-trainable objective.
+
+    Implements the ``Recommender`` training hooks over a wrapped
+    :class:`~repro.models.embeddings.TransR`; ``batch_loss`` takes a
+    (heads, rels, tails) batch — what :class:`TripleShardSampler` yields —
+    and corrupts negatives from the batch RNG, so the loss is replicable
+    from (batch, rng) alone and safe to compute in worker processes.
+    """
+
+    name = "TransR"
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        entity_dim: int = 64,
+        relation_dim: int = 32,
+        margin: float = 1.0,
+        seed=0,
+    ):
+        self.transr = TransR(
+            num_entities,
+            num_relations,
+            entity_dim=entity_dim,
+            relation_dim=relation_dim,
+            seed=seed,
+            margin=margin,
+        )
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+
+    # ------------------------------------------------------- training hooks
+    def parameters(self) -> List[Parameter]:
+        return self.transr.parameters()
+
+    def batch_loss(
+        self,
+        heads: np.ndarray,
+        rels: np.ndarray,
+        tails: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tensor:
+        return self.transr.margin_loss(heads, rels, tails, rng)
+
+    def extra_epoch_step(self, step, rng, config) -> float:
+        return 0.0
+
+    def on_epoch_end(self) -> None:
+        pass
+
+    def extra_rng_state(self):
+        return None
+
+    def restore_extra_rng_state(self, state) -> None:
+        if state is not None:
+            raise ValueError("TransRObjective owns no extra RNG state")
+
+    def row_partitioned_parameters(self) -> List[Parameter]:
+        return []  # every table is shared: see the module docstring

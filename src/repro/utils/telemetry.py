@@ -17,6 +17,10 @@ Event vocabulary (the ``event`` field; producers may add fields freely):
 - ``checkpoint``                — a training checkpoint was written;
 - ``eval_shard`` / ``eval_sharded`` — per-shard and total sharded-eval
   timings;
+- ``worker_epoch``                — one data-parallel training worker's
+  per-epoch record (rank, rounds, batches, loss sum, seconds), produced in
+  the worker process and merged into the main run log by
+  :func:`merge_worker_events`;
 - ``cell_start`` / ``cell_end`` — one table-cell train→evaluate run.
 
 :func:`summarize_run` / :func:`render_run_report` reduce a log back into the
@@ -31,7 +35,13 @@ import threading
 import time
 from typing import Dict, List, Optional, TextIO, Union
 
-__all__ = ["RunLogger", "read_run_log", "summarize_run", "render_run_report"]
+__all__ = [
+    "RunLogger",
+    "merge_worker_events",
+    "read_run_log",
+    "summarize_run",
+    "render_run_report",
+]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -81,6 +91,29 @@ class RunLogger:
             self._fh.flush()
         return record
 
+    def append(self, record: dict) -> dict:
+        """Append a pre-built event record verbatim (plus run_id stamping).
+
+        Unlike :meth:`log`, the record's own ``ts`` is preserved — this is
+        the relay path for events produced in another process (training
+        workers) whose timestamps reflect when the work actually happened,
+        not when the master got around to merging them.  Records missing
+        ``event`` or ``ts`` are rejected: an untyped or untimed event would
+        silently break every downstream reducer.
+        """
+        if "event" not in record or "ts" not in record:
+            raise ValueError(f"relayed event needs 'event' and 'ts' fields, got {sorted(record)}")
+        record = dict(record)
+        if self.run_id is not None and "run_id" not in record:
+            record["run_id"] = self.run_id
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            if self._fh is None:
+                raise ValueError(f"RunLogger({self.path}) is closed")
+            self._fh.write(line)
+            self._fh.flush()
+        return record
+
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
@@ -93,6 +126,23 @@ class RunLogger:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
+
+
+def merge_worker_events(logger: RunLogger, events: List[dict]) -> int:
+    """Merge per-worker training events into one run log; returns the count.
+
+    Data-parallel workers record their step/epoch events locally (no shared
+    file handle — concurrent appends from W processes would interleave past
+    the torn-tail tolerance of :func:`read_run_log`) and ship them to the
+    master at epoch boundaries.  The master merges each drain here, sorted
+    by ``(ts, worker)`` so the combined log reads in causal order even
+    though workers flush at different times.  Sorting is stable, so each
+    worker's own events keep their original relative order.
+    """
+    ordered = sorted(events, key=lambda e: (float(e.get("ts", 0.0)), e.get("worker", -1)))
+    for record in ordered:
+        logger.append(record)
+    return len(ordered)
 
 
 def read_run_log(path: PathLike) -> List[dict]:
@@ -129,6 +179,7 @@ def summarize_run(events: List[dict]) -> dict:
     checkpoints = [e for e in events if e.get("event") == "checkpoint"]
     resumes = [e for e in events if e.get("event") == "resume"]
     shards = [e for e in events if e.get("event") == "eval_shard"]
+    worker_epochs = [e for e in events if e.get("event") == "worker_epoch"]
     losses = [float(e["loss"]) for e in epochs if "loss" in e]
     summary: dict = {
         "events": len(events),
@@ -142,6 +193,9 @@ def summarize_run(events: List[dict]) -> dict:
         "resumes": len(resumes),
         "shards": len(shards),
         "shard_seconds": sum(float(e.get("seconds", 0.0)) for e in shards),
+        "worker_epochs": len(worker_epochs),
+        "workers": len({e.get("worker") for e in worker_epochs}) if worker_epochs else 0,
+        "worker_seconds": sum(float(e.get("seconds", 0.0)) for e in worker_epochs),
     }
     if evals:
         last = {k: v for k, v in evals[-1].items() if k not in ("event", "ts", "run_id")}
@@ -183,4 +237,9 @@ def render_run_report(path: PathLike) -> str:
         lines.append(f"checkpoints: {s['checkpoints']} written, {s['resumes']} resumes")
     if s["shards"]:
         lines.append(f"eval shards: {s['shards']} ({s['shard_seconds']:.2f}s worker time)")
+    if s["worker_epochs"]:
+        lines.append(
+            f"train workers: {s['workers']} "
+            f"({s['worker_epochs']} worker-epochs, {s['worker_seconds']:.2f}s worker time)"
+        )
     return "\n".join(lines)

@@ -290,6 +290,48 @@ class TestAdHocPersistence:
         assert codes(src, path=NEUTRAL_PATH) == []
 
 
+# ---------------------------------------------------------------------- RPL015
+class TestOptimizerFunnel:
+    def test_optimizer_import_in_models_flagged(self):
+        src = "from repro.autograd import Adam\n"
+        assert codes(src) == ["RPL015"]
+
+    def test_optim_module_import_flagged(self):
+        src = "from repro.autograd.optim import SGD\n"
+        assert codes(src) == ["RPL015"]
+
+    def test_step_call_on_optimizer_name_flagged(self):
+        src = "def f(optimizer):\n    optimizer.step()\n"
+        assert codes(src) == ["RPL015"]
+
+    def test_zero_grad_on_self_attr_flagged(self):
+        src = "class M:\n    def g(self):\n        self.optim.zero_grad()\n"
+        assert codes(src) == ["RPL015"]
+
+    def test_engine_step_callable_clean(self):
+        src = (
+            "def extra_epoch_step(self, step, rng, config):\n"
+            "    return step(lambda: self.loss(rng))\n"
+        )
+        assert codes(src) == []
+
+    def test_non_optimizer_step_clean(self):
+        src = "def f(scheduler):\n    scheduler.step()\n"
+        assert codes(src) == []
+
+    def test_other_autograd_imports_clean(self):
+        src = "from repro.autograd import Parameter, Tensor, no_grad\n"
+        assert codes(src) == []
+
+    def test_outside_model_paths_clean(self):
+        src = "from repro.autograd import Adam\ndef f(optimizer):\n    optimizer.step()\n"
+        assert codes(src, path="src/repro/train/engine.py") == []
+
+    def test_suppression_honored(self):
+        src = "from repro.autograd import Adam  # reprolint: disable=RPL015\n"
+        assert codes(src) == []
+
+
 # ------------------------------------------------------------------- fixtures
 BAD_FIXTURES = {
     "bad_randomness.py": {"RPL001", "RPL002"},

@@ -1,0 +1,352 @@
+"""Data-parallel training tests: determinism, crash consistency, resume.
+
+The contract under test (DESIGN §14):
+
+- fork and inline modes are **bit-identical** for the same worker count;
+- different worker counts consume identical batch schedules and agree to
+  floating-point reassociation tolerance (the gradient-agreement harness
+  measures the divergence directly);
+- a worker crash (injected exception or SIGKILL) aborts the epoch *before*
+  the in-flight round reaches shared tables — applied steps always form a
+  complete prefix, never a partial or doubled round;
+- sharded checkpoints round-trip worker-resident lazy-Adam state and only
+  resume under the executor layout that wrote them.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionDataset
+from repro.data.sampling import BPRSampler, ShardedBPRSampler
+from repro.io.checkpoints import load_training_checkpoint
+from repro.models import BPRMF
+from repro.models.base import FitConfig
+from repro.train import (
+    ShardedExecutor,
+    TrainEngine,
+    TransRObjective,
+    TripleShardSampler,
+    gradient_agreement_report,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(0)
+    n = 2000
+    return InteractionDataset(
+        rng.integers(0, 64, n), rng.integers(0, 80, n), num_users=64, num_items=80
+    )
+
+
+def sampler(data):
+    return ShardedBPRSampler(data, users_per_shard=16)
+
+
+def fit_bprmf(data, cfg, executor, **kw):
+    model = BPRMF(64, 80, dim=8, seed=1)
+    result = model.fit(data, cfg, sampler=sampler(data), executor=executor, **kw)
+    return model, result
+
+
+def params_equal(a, b):
+    return all(np.array_equal(p.data, q.data) for p, q in zip(a.parameters(), b.parameters()))
+
+
+class TestDeterminism:
+    def test_fork_matches_inline_bit_for_bit(self, data):
+        cfg = FitConfig(epochs=3, batch_size=64, seed=3)
+        mi, ri = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=False))
+        mf, rf = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=True))
+        assert params_equal(mi, mf)
+        assert ri.losses == rf.losses
+
+    def test_worker_counts_agree_within_tolerance(self, data):
+        """W=1 vs W=2: same batches, reassociated summation only."""
+        cfg = FitConfig(epochs=3, batch_size=64, seed=3)
+        m1, _ = fit_bprmf(data, cfg, ShardedExecutor(1, parallel=False))
+        m2, _ = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=False))
+        for p, q in zip(m1.parameters(), m2.parameters()):
+            assert np.allclose(p.data, q.data, rtol=0, atol=1e-12)
+
+    def test_rerun_is_deterministic(self, data):
+        cfg = FitConfig(epochs=2, batch_size=64, seed=7)
+        a, _ = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=True))
+        b, _ = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=True))
+        assert params_equal(a, b)
+
+    def test_parameters_restored_off_segments_after_close(self, data):
+        """After fit, parameters live in ordinary memory, not arena mmaps."""
+        cfg = FitConfig(epochs=1, batch_size=64, seed=3)
+        m, _ = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=True))
+        for p in m.parameters():
+            assert not isinstance(p.data, np.memmap)
+
+
+class TestGradientAgreement:
+    def test_two_level_reduction_matches_serial(self, data):
+        rep = gradient_agreement_report(
+            lambda: BPRMF(64, 80, dim=8, seed=1),
+            sampler(data),
+            FitConfig(epochs=1, batch_size=64, seed=3),
+            workers=2,
+        )
+        assert rep["within_tolerance"], rep
+        assert rep["max_rel_diff"] <= 1e-9
+        assert set(rep["params"]) == {"bprmf.user", "bprmf.item"}
+
+    def test_report_scales_with_workers(self, data):
+        for workers in (1, 3):
+            rep = gradient_agreement_report(
+                lambda: BPRMF(64, 80, dim=8, seed=1),
+                sampler(data),
+                FitConfig(epochs=1, batch_size=64, seed=3),
+                workers=workers,
+            )
+            assert rep["workers"] == workers
+            assert rep["within_tolerance"], rep
+
+
+class TestCheckpointResume:
+    def test_sharded_resume_is_bit_identical(self, data, tmp_path):
+        """6 epochs straight == 3 + checkpoint + resume for 3 more (fork)."""
+        cfg = FitConfig(epochs=6, batch_size=64, seed=3)
+        ref, _ = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=True))
+        ck = tmp_path / "shard.ckpt.npz"
+        fit_bprmf(
+            data,
+            FitConfig(epochs=3, batch_size=64, seed=3),
+            ShardedExecutor(2, parallel=True),
+            checkpoint_every=3,
+            checkpoint_path=ck,
+        )
+        resumed, _ = fit_bprmf(
+            data, cfg, ShardedExecutor(2, parallel=True), resume_from=ck
+        )
+        assert params_equal(ref, resumed)
+
+    def test_checkpoint_records_shard_layout(self, data, tmp_path):
+        ck = tmp_path / "shard.ckpt.npz"
+        fit_bprmf(
+            data,
+            FitConfig(epochs=2, batch_size=64, seed=3),
+            ShardedExecutor(2, parallel=False),
+            checkpoint_every=2,
+            checkpoint_path=ck,
+        )
+        fp = load_training_checkpoint(ck).config["executor"]
+        assert fp["kind"] == "sharded"
+        assert fp["workers"] == 2
+        assert fp["num_shards"] == 4
+        assert fp["rows_per_shard"] == 16
+
+    def test_sharded_checkpoint_refuses_other_layouts(self, data, tmp_path):
+        """Resume fails loudly serially and under a different worker count."""
+        cfg = FitConfig(epochs=4, batch_size=64, seed=3)
+        ck = tmp_path / "shard.ckpt.npz"
+        fit_bprmf(
+            data,
+            FitConfig(epochs=2, batch_size=64, seed=3),
+            ShardedExecutor(2, parallel=False),
+            checkpoint_every=2,
+            checkpoint_path=ck,
+        )
+        with pytest.raises(ValueError, match="cannot resume.*executor"):
+            BPRMF(64, 80, dim=8, seed=1).fit(data, cfg, resume_from=ck)
+        with pytest.raises(ValueError, match="cannot resume.*executor"):
+            fit_bprmf(data, cfg, ShardedExecutor(4, parallel=False), resume_from=ck)
+
+    def test_row_steps_round_trip_through_npz(self, data, tmp_path):
+        """Worker-resident lazy-Adam row_steps survive the npz format."""
+        ck = tmp_path / "shard.ckpt.npz"
+        fit_bprmf(
+            data,
+            FitConfig(epochs=2, batch_size=64, seed=3),
+            ShardedExecutor(2, parallel=True),
+            checkpoint_every=2,
+            checkpoint_path=ck,
+        )
+        state = load_training_checkpoint(ck).optimizer_state
+        assert "row_steps" in state
+        # param 0 (bprmf.user) is row-partitioned: full-table row_steps present
+        row_steps = state["row_steps"]
+        key = 0 if 0 in row_steps else "0"
+        assert len(row_steps[key]) == 64
+
+
+class TestCrashConsistency:
+    def test_injected_failure_aborts_without_applying(self, data):
+        """A worker exception mid-epoch never half-applies the round.
+
+        The shared item table after a crash at round r must equal a clean
+        run truncated at r rounds — the failed round's gradients from the
+        *surviving* worker must not leak in (no partial application), and
+        earlier rounds must all be present (no lost or doubled batch).
+        """
+        cfg = FitConfig(epochs=1, batch_size=64, seed=3)
+        crashed = BPRMF(64, 80, dim=8, seed=1)
+        with pytest.raises(RuntimeError, match="NOT applied"):
+            crashed.fit(
+                data,
+                cfg,
+                sampler=sampler(data),
+                executor=ShardedExecutor(2, parallel=True, _fail_at=(1, 2)),
+            )
+        truncated, _ = fit_bprmf(
+            data, cfg, ShardedExecutor(2, parallel=True, _max_rounds=2)
+        )
+        # item table (shared, master-applied) is the crash-consistency witness
+        assert np.array_equal(crashed.parameters()[1].data, truncated.parameters()[1].data)
+
+    def test_sigkilled_worker_detected(self, data):
+        """SIGKILL mid-epoch surfaces as a worker-death error, not a hang."""
+        ex = ShardedExecutor(2, parallel=True, barrier_timeout=30)
+        model = BPRMF(64, 80, dim=8, seed=1)
+
+        def killer():
+            deadline = time.time() + 10
+            while not ex._procs and time.time() < deadline:
+                time.sleep(0.05)
+            time.sleep(0.3)
+            if ex._procs:
+                os.kill(ex._procs[1].pid, signal.SIGKILL)
+
+        t = threading.Thread(target=killer)
+        t.start()
+        try:
+            with pytest.raises(RuntimeError, match="died.*resume"):
+                model.fit(
+                    data,
+                    FitConfig(epochs=200, batch_size=64, seed=3),
+                    sampler=sampler(data),
+                    executor=ex,
+                )
+        finally:
+            t.join()
+
+    def test_kill_and_resume_matches_uninterrupted(self, data, tmp_path):
+        """SIGKILL mid-epoch, resume from checkpoint → same final parameters.
+
+        Crash recovery is resume-from-last-checkpoint; with one worker
+        count throughout, the recovered run is bit-identical to the
+        uninterrupted one (the tolerance bound only enters when the worker
+        count changes across the resume, which the fingerprint forbids).
+        """
+        cfg = FitConfig(epochs=4, batch_size=64, seed=3)
+        ref, _ = fit_bprmf(data, cfg, ShardedExecutor(2, parallel=True))
+
+        ck = tmp_path / "kill.ckpt.npz"
+        fit_bprmf(
+            data,
+            FitConfig(epochs=2, batch_size=64, seed=3),
+            ShardedExecutor(2, parallel=True),
+            checkpoint_every=2,
+            checkpoint_path=ck,
+        )
+        # epoch 3 crashes mid-flight — the engine surfaces the abort and the
+        # checkpoint from epoch 2 is the recovery point
+        with pytest.raises(RuntimeError, match="NOT applied"):
+            fit_bprmf(
+                data,
+                cfg,
+                ShardedExecutor(2, parallel=True, _fail_at=(0, 5)),
+                resume_from=ck,
+            )
+        resumed, _ = fit_bprmf(
+            data, cfg, ShardedExecutor(2, parallel=True), resume_from=ck
+        )
+        assert params_equal(ref, resumed)
+
+
+class TestValidation:
+    def test_plain_sampler_rejected(self, data):
+        ex = ShardedExecutor(2, parallel=False)
+        with pytest.raises(ValueError, match="shard-addressable sampler"):
+            BPRMF(64, 80, dim=8, seed=1).fit(
+                data, FitConfig(epochs=1), sampler=BPRSampler(data), executor=ex
+            )
+
+    def test_private_rng_models_rejected(self, data):
+        """Models with private generators (NFM/CKAT dropout) cannot shard."""
+
+        class PrivateRNGModel(BPRMF):
+            def extra_rng_state(self):
+                return {"dropout": {"state": 1}}
+
+        model = PrivateRNGModel(64, 80, dim=8, seed=1)
+        with pytest.raises(NotImplementedError, match="private RNG"):
+            model.fit(
+                data,
+                FitConfig(epochs=1),
+                sampler=sampler(data),
+                executor=ShardedExecutor(2, parallel=False),
+            )
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ShardedExecutor(0)
+
+    def test_default_sampler_shards_by_worker_count(self, data):
+        ex = ShardedExecutor(4, parallel=False)
+        s = ex.default_sampler(data)
+        assert isinstance(s, ShardedBPRSampler)
+        assert s.num_shards >= 4  # at least one shard per worker
+
+
+class TestTransRObjective:
+    @pytest.fixture()
+    def triples(self):
+        rng = np.random.default_rng(7)
+        n = 3000
+        return (
+            rng.integers(0, 120, n),
+            rng.integers(0, 5, n),
+            rng.integers(0, 120, n),
+        )
+
+    def test_trains_serially_and_sharded(self, triples):
+        h, r, t = triples
+        cfg = FitConfig(epochs=2, batch_size=128, seed=5)
+
+        def fit(executor):
+            obj = TransRObjective(120, 5, entity_dim=8, relation_dim=4, seed=2)
+            result = TrainEngine(obj, executor=executor).fit(
+                None, cfg, sampler=TripleShardSampler(h, r, t, rows_per_shard=500)
+            )
+            return obj, result
+
+        serial, rs = fit(None)
+        inline, ri = fit(ShardedExecutor(2, parallel=False))
+        fork, rf = fit(ShardedExecutor(2, parallel=True))
+        assert params_equal(inline, fork)
+        assert ri.losses == rf.losses
+        assert rs.losses[-1] < rs.losses[0] * 1.01  # it actually trains
+        assert rf.losses[-1] < rf.losses[0] * 1.01
+
+    def test_agreement_with_all_shared_tables(self, triples):
+        h, r, t = triples
+        rep = gradient_agreement_report(
+            lambda: TransRObjective(120, 5, entity_dim=8, relation_dim=4, seed=2),
+            TripleShardSampler(h, r, t, rows_per_shard=500),
+            FitConfig(epochs=1, batch_size=128, seed=5),
+            workers=2,
+        )
+        assert rep["within_tolerance"], rep
+
+    def test_triple_sampler_covers_epoch(self, triples):
+        h, r, t = triples
+        s = TripleShardSampler(h, r, t, rows_per_shard=500)
+        assert s.num_shards == 6
+        total = sum(
+            len(batch[0])
+            for shard in range(s.num_shards)
+            for batch in s.shard_epoch_batches(shard, 128, np.random.default_rng(0))
+        )
+        assert total == len(h)
